@@ -1,0 +1,78 @@
+// Command higgsbench regenerates the paper's evaluation tables and figures
+// (ICDE 2025, §VI). Each experiment builds the six competitors — HIGGS,
+// PGSS, Horae, Horae-cpt, AuxoTime, AuxoTime-cpt — on synthetic stand-ins
+// for the paper's datasets and prints one row per plotted point.
+//
+// Usage:
+//
+//	higgsbench -list
+//	higgsbench -exp fig10
+//	higgsbench -exp all -scale 1.0 -equeries 10000
+//
+// Query volumes and dataset scale default to laptop-friendly values; raise
+// -scale and the query counts to approach the paper's original volumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"higgs/internal/bench"
+	"higgs/internal/stream"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.Float64("scale", 0.5, "dataset scale factor (1.0 ≈ paper-shaped sizes)")
+		equeries = flag.Int("equeries", 2000, "edge queries per range length")
+		vqueries = flag.Int("vqueries", 400, "vertex queries per range length")
+		pqueries = flag.Int("pqueries", 200, "path queries per hop count")
+		squeries = flag.Int("squeries", 50, "subgraph queries per size")
+		skewN    = flag.Int("skewnodes", 20000, "synthetic sweep: vertex universe (fig14/15)")
+		skewE    = flag.Int("skewedges", 300000, "synthetic sweep: edge volume (fig14/15)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		presets  = flag.String("presets", "", "comma-separated dataset presets (default: all of lkml,wiki-talk,stackoverflow)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "higgsbench: -exp is required (use -list to see experiments)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := bench.Options{
+		Scale:           *scale,
+		EdgeQueries:     *equeries,
+		VertexQueries:   *vqueries,
+		PathQueries:     *pqueries,
+		SubgraphQueries: *squeries,
+		SkewNodes:       *skewN,
+		SkewEdges:       *skewE,
+		Seed:            *seed,
+		Out:             os.Stdout,
+	}
+	if *presets != "" {
+		for _, p := range strings.Split(*presets, ",") {
+			opts.Presets = append(opts.Presets, stream.Preset(strings.TrimSpace(p)))
+		}
+	}
+
+	start := time.Now()
+	if err := bench.Run(*exp, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "higgsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

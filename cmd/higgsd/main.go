@@ -1,0 +1,108 @@
+// Command higgsd serves a HIGGS summary over HTTP — a minimal graph stream
+// summarization service.
+//
+//	higgsd -addr :8080
+//	higgsd -addr :8080 -load summary.higgs -save summary.higgs
+//
+// API (see internal/server):
+//
+//	POST /v1/insert    [{"s":1,"d":2,"w":1,"t":100}, ...]
+//	POST /v1/delete    {"s":1,"d":2,"w":1,"t":100}
+//	GET  /v1/edge?s=1&d=2&ts=0&te=200
+//	GET  /v1/vertex?v=1&dir=out&ts=0&te=200
+//	GET  /v1/path?v=1,2,3&ts=0&te=200
+//	POST /v1/subgraph  {"edges":[[1,2],[2,3]],"ts":0,"te":200}
+//	GET  /v1/stats
+//	GET  /v1/snapshot  (binary download)   POST /v1/snapshot (restore)
+//
+// On SIGINT/SIGTERM the server stops accepting connections and, if -save
+// is set, writes a snapshot before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"higgs/internal/core"
+	"higgs/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		load = flag.String("load", "", "snapshot file to restore at startup")
+		save = flag.String("save", "", "snapshot file to write on shutdown")
+	)
+	flag.Parse()
+
+	sum, err := buildSummary(*load)
+	if err != nil {
+		log.Fatalf("higgsd: %v", err)
+	}
+	srv := server.New(sum)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	go func() {
+		log.Printf("higgsd: listening on %s (items=%d)", *addr, sum.Items())
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("higgsd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Println("higgsd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("higgsd: shutdown: %v", err)
+	}
+	if *save != "" {
+		if err := writeSnapshot(sum, *save); err != nil {
+			log.Fatalf("higgsd: save: %v", err)
+		}
+		log.Printf("higgsd: snapshot saved to %s", *save)
+	}
+}
+
+func buildSummary(load string) (*core.Summary, error) {
+	if load == "" {
+		return core.New(core.DefaultConfig())
+	}
+	f, err := os.Open(load)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	defer f.Close()
+	sum, err := core.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", load, err)
+	}
+	return sum, nil
+}
+
+func writeSnapshot(sum *core.Summary, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := sum.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

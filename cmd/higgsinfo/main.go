@@ -1,0 +1,75 @@
+// Command higgsinfo reads a graph stream ("s d w t" per line, KONECT-style
+// comments allowed), prints Table-II-style statistics, and optionally
+// builds a HIGGS summary over it to report the resulting tree shape and
+// space cost.
+//
+// Usage:
+//
+//	higgsgen -preset lkml -scale 0.2 | higgsinfo -build
+//	higgsinfo -f stream.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"higgs"
+	"higgs/internal/metrics"
+	"higgs/internal/stream"
+)
+
+func main() {
+	var (
+		file  = flag.String("f", "", "stream file (default stdin)")
+		build = flag.Bool("build", false, "also build a HIGGS summary and report its shape")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "higgsinfo: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	s, err := stream.Read(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "higgsinfo: %v\n", err)
+		os.Exit(1)
+	}
+	st := stream.Summarize(s)
+	fmt.Printf("edges:          %d\n", st.Edges)
+	fmt.Printf("distinct edges: %d\n", st.DistinctEdges)
+	fmt.Printf("nodes:          %d\n", st.Nodes)
+	fmt.Printf("time span:      %ds ([%d, %d])\n", st.Span(), st.FirstT, st.LastT)
+	fmt.Printf("max out-degree: %d\n", st.MaxOutDegree)
+	fmt.Printf("max in-degree:  %d\n", st.MaxInDegree)
+	fmt.Printf("total weight:   %d\n", st.TotalWeight)
+
+	if !*build {
+		return
+	}
+	if !s.Sorted() {
+		s.SortByTime()
+		fmt.Println("(stream was unsorted; sorted by time before building)")
+	}
+	sum, err := higgs.FromStream(higgs.DefaultConfig(), s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "higgsinfo: %v\n", err)
+		os.Exit(1)
+	}
+	hs := sum.Stats()
+	fmt.Println("\nHIGGS summary:")
+	fmt.Printf("layers:           %d\n", hs.Layers)
+	fmt.Printf("leaves:           %d\n", hs.Leaves)
+	fmt.Printf("nodes:            %d\n", hs.Nodes)
+	fmt.Printf("overflow blocks:  %d\n", hs.OverflowBlocks)
+	fmt.Printf("leaf utilization: %.1f%%\n", hs.AvgLeafUtil*100)
+	fmt.Printf("space (packed):   %s\n", metrics.FormatBytes(hs.SpaceBytes))
+	fmt.Printf("space (heap):     %s\n", metrics.FormatBytes(hs.HeapBytes))
+}

@@ -1,0 +1,193 @@
+package higgs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the repository's command binaries once per test run.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := make(map[string]string, len(names))
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+// TestE2EGenInfoPipeline exercises higgsgen | higgsinfo -build.
+func TestE2EGenInfoPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bins := buildTools(t, "higgsgen", "higgsinfo")
+
+	gen := exec.Command(bins["higgsgen"], "-nodes", "500", "-edges", "20000",
+		"-span", "100000", "-skew", "2.0", "-seed", "5")
+	var streamOut bytes.Buffer
+	gen.Stdout = &streamOut
+	if err := gen.Run(); err != nil {
+		t.Fatalf("higgsgen: %v", err)
+	}
+	if n := bytes.Count(streamOut.Bytes(), []byte("\n")); n != 20000 {
+		t.Fatalf("higgsgen emitted %d lines, want 20000", n)
+	}
+
+	info := exec.Command(bins["higgsinfo"], "-build")
+	info.Stdin = bytes.NewReader(streamOut.Bytes())
+	out, err := info.CombinedOutput()
+	if err != nil {
+		t.Fatalf("higgsinfo: %v\n%s", err, out)
+	}
+	for _, want := range []string{"edges:          20000", "HIGGS summary:", "layers:", "space (packed):"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("higgsinfo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE2EBenchList checks higgsbench -list and a tiny experiment run.
+func TestE2EBenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bins := buildTools(t, "higgsbench")
+	out, err := exec.Command(bins["higgsbench"], "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("higgsbench -list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"table2", "fig10", "fig21", "ablation"} {
+		if !strings.Contains(string(out), id) {
+			t.Fatalf("-list missing %s:\n%s", id, out)
+		}
+	}
+	out, err = exec.Command(bins["higgsbench"], "-exp", "table2", "-scale", "0.02",
+		"-presets", "lkml").CombinedOutput()
+	if err != nil {
+		t.Fatalf("higgsbench table2: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "lkml") {
+		t.Fatalf("table2 output:\n%s", out)
+	}
+	// Unknown experiment fails loudly.
+	if _, err := exec.Command(bins["higgsbench"], "-exp", "nope").CombinedOutput(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestE2EDaemon boots higgsd, drives the HTTP API, saves a snapshot on
+// shutdown, and restarts from it.
+func TestE2EDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bins := buildTools(t, "higgsd")
+	snap := filepath.Join(t.TempDir(), "state.higgs")
+	addr := freeAddr(t)
+
+	run := exec.Command(bins["higgsd"], "-addr", addr, "-save", snap)
+	var logs bytes.Buffer
+	run.Stderr = &logs
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer run.Process.Kill()
+	waitHTTP(t, addr)
+
+	base := "http://" + addr
+	resp, err := http.Post(base+"/v1/insert", "application/json",
+		strings.NewReader(`[{"s":1,"d":2,"w":3,"t":10},{"s":1,"d":2,"w":4,"t":20}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := getWeight(t, base+"/v1/edge?s=1&d=2&ts=0&te=100"); got != 7 {
+		t.Fatalf("edge weight = %d, want 7", got)
+	}
+
+	// Graceful shutdown writes the snapshot.
+	if err := run.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatalf("higgsd exit: %v\n%s", err, logs.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v\n%s", err, logs.String())
+	}
+
+	// Restart from the snapshot and verify state survived.
+	addr2 := freeAddr(t)
+	run2 := exec.Command(bins["higgsd"], "-addr", addr2, "-load", snap)
+	run2.Stderr = io.Discard
+	if err := run2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		run2.Process.Signal(os.Interrupt)
+		run2.Wait()
+	}()
+	waitHTTP(t, addr2)
+	if got := getWeight(t, "http://"+addr2+"/v1/edge?s=1&d=2&ts=0&te=100"); got != 7 {
+		t.Fatalf("restored edge weight = %d, want 7", got)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHTTP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/stats")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never came up", addr)
+}
+
+func getWeight(t *testing.T, url string) int64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, b)
+	}
+	var v map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v["weight"]
+}

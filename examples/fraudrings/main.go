@@ -1,0 +1,94 @@
+// Fraudrings: transaction-ring screening on a payment stream — the paper's
+// financial application ("quickly identify fraudulent transaction patterns
+// within certain time frames", §I).
+//
+// A fraud ring moves money in a cycle a→b→c→d→a in short time windows so
+// each account's balance looks flat on daily statements. We summarize one
+// week of payments with HIGGS and screen candidate rings with subgraph
+// queries per 6-hour window: a ring "fires" in a window when every edge of
+// the cycle carries weight there. HIGGS answers from sublinear space and
+// never under-estimates, so the screen cannot produce false negatives.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"higgs"
+)
+
+const (
+	hour     = int64(3600)
+	week     = 7 * 24 * hour
+	accounts = 20_000
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Legitimate traffic: 300k transfers over the week.
+	var stream higgs.Stream
+	for i := 0; i < 300_000; i++ {
+		stream = append(stream, higgs.Edge{
+			S: uint64(rng.Intn(accounts)),
+			D: uint64(rng.Intn(accounts)),
+			W: int64(rng.Intn(900) + 100), // $100–$999
+			T: rng.Int63n(week),
+		})
+	}
+	// The ring: four accounts cycling funds during two separate windows.
+	ring := []uint64{666, 1337, 4242, 9999}
+	ringWindows := []int64{30 * hour, 120 * hour}
+	for _, w0 := range ringWindows {
+		for hop := 0; hop < 4; hop++ {
+			for burst := 0; burst < 8; burst++ {
+				stream = append(stream, higgs.Edge{
+					S: ring[hop],
+					D: ring[(hop+1)%4],
+					W: 5_000,
+					T: w0 + rng.Int63n(2*hour),
+				})
+			}
+		}
+	}
+	stream.SortByTime()
+
+	s, err := higgs.FromStream(higgs.DefaultConfig(), stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ring's edge set as a subgraph query.
+	ringEdges := [][2]uint64{}
+	for hop := 0; hop < 4; hop++ {
+		ringEdges = append(ringEdges, [2]uint64{ring[hop], ring[(hop+1)%4]})
+	}
+	// A benign control subgraph of random account pairs.
+	control := [][2]uint64{{17, 23}, {99, 3}, {500, 200}, {7, 8}}
+
+	fmt.Println("screening 6-hour windows (ring fires when ALL cycle edges carry weight):")
+	fmt.Println("window  ring-volume  every-edge-active  control-volume")
+	for w := int64(0); w < week; w += 6 * hour {
+		ts, te := w, w+6*hour-1
+		vol := s.SubgraphWeight(ringEdges, ts, te)
+		allActive := true
+		for _, e := range ringEdges {
+			if s.EdgeWeight(e[0], e[1], ts, te) == 0 {
+				allActive = false
+				break
+			}
+		}
+		flag := ""
+		if allActive && vol > 50_000 {
+			flag = "  <-- RING ALERT"
+		}
+		if vol > 0 || allActive {
+			fmt.Printf("h%03d    $%-10d  %-17v  $%d%s\n",
+				w/hour, vol, allActive, s.SubgraphWeight(control, ts, te), flag)
+		}
+	}
+	fmt.Printf("\nground truth: ring activity planted at h030 and h120\n")
+	st := s.Stats()
+	fmt.Printf("stream: %d transfers summarized in %d KB\n", st.Items, st.SpaceBytes/1024)
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a HIGGS summary over a small synthetic graph stream
+// and run every temporal-range-query primitive the paper defines (§III):
+// edge, vertex, path, and subgraph queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"higgs"
+)
+
+func main() {
+	// A tiny social graph: users message each other over one day.
+	// (This is the stream of the paper's Fig. 5, Example 1.)
+	edges := higgs.Stream{
+		{S: 2, D: 3, W: 1, T: 1},
+		{S: 4, D: 5, W: 1, T: 2},
+		{S: 1, D: 2, W: 2, T: 3},
+		{S: 2, D: 4, W: 1, T: 4},
+		{S: 4, D: 6, W: 3, T: 5},
+		{S: 2, D: 3, W: 1, T: 6},
+		{S: 3, D: 7, W: 2, T: 7},
+		{S: 4, D: 7, W: 2, T: 8},
+		{S: 2, D: 3, W: 2, T: 9},
+		{S: 6, D: 7, W: 1, T: 10},
+		{S: 5, D: 6, W: 1, T: 11},
+	}
+
+	s, err := higgs.New(higgs.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range edges {
+		s.Insert(e)
+	}
+
+	// Edge query: aggregated weight of v2 → v3 between t5 and t10.
+	// The paper's Example 1 works this out to 3 (arrivals at t6 and t9).
+	fmt.Printf("edge   v2→v3 in [5,10]      = %d (paper: 3)\n", s.EdgeWeight(2, 3, 5, 10))
+
+	// Vertex query: total outgoing weight of v4 between t1 and t11 = 6.
+	fmt.Printf("vertex out(v4) in [1,11]    = %d (paper: 6)\n", s.VertexOut(4, 1, 11))
+
+	// Incoming side works too.
+	fmt.Printf("vertex in(v7) in [1,11]     = %d\n", s.VertexIn(7, 1, 11))
+
+	// Path query: sum of edge weights along v1 → v2 → v3 over the day.
+	fmt.Printf("path   v1→v2→v3 in [1,11]   = %d\n", s.PathWeight([]uint64{1, 2, 3}, 1, 11))
+
+	// Subgraph query over {(v2,v3), (v3,v7), (v2,v4)} in [5,8] = 3.
+	sub := [][2]uint64{{2, 3}, {3, 7}, {2, 4}}
+	fmt.Printf("subgraph {…} in [5,8]       = %d (paper: 3)\n", s.SubgraphWeight(sub, 5, 8))
+
+	// Deletion is supported: remove the t6 arrival of v2→v3 and re-ask.
+	s.Delete(higgs.Edge{S: 2, D: 3, W: 1, T: 6})
+	fmt.Printf("edge   v2→v3 after delete   = %d\n", s.EdgeWeight(2, 3, 5, 10))
+
+	// Structure introspection.
+	st := s.Stats()
+	fmt.Printf("\nsummary: %d items, %d layer(s), %d leaf/leaves, %d bytes packed\n",
+		st.Items, st.Layers, st.Leaves, st.SpaceBytes)
+}

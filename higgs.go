@@ -1,0 +1,84 @@
+// Package higgs is the public API of this repository: a Go implementation
+// of HIGGS — HIerarchy-Guided Graph Stream Summarization (Zhao, Xie,
+// Jensen; ICDE 2025) — together with the graph stream model it operates on.
+//
+// A HIGGS summary ingests a time-ordered stream of weighted directed edges
+// and answers temporal range queries (edge, vertex, path, and subgraph
+// weights over arbitrary time windows) approximately, with one-sided error:
+// results never under-estimate the truth. Internally it is an item-based,
+// bottom-up aggregated B-tree of compressed matrices; see DESIGN.md for the
+// architecture and internal/ for the substrates and the baselines used by
+// the benchmark harness (TCM, GSS, Auxo, PGSS, Horae, AuxoTime).
+//
+// # Quick start
+//
+//	s, err := higgs.New(higgs.DefaultConfig())
+//	if err != nil { ... }
+//	s.Insert(higgs.Edge{S: alice, D: bob, W: 1, T: now})
+//	...
+//	w := s.EdgeWeight(alice, bob, t0, t1) // weight of alice→bob in [t0,t1]
+//
+// Runnable examples live under examples/, and cmd/higgsbench regenerates
+// every table and figure of the paper's evaluation.
+package higgs
+
+import (
+	"io"
+
+	"higgs/internal/core"
+	"higgs/internal/stream"
+)
+
+// Edge is one graph stream item: a directed edge S→D carrying weight W,
+// arriving at time T (seconds). Streams must arrive in non-decreasing T
+// order.
+type Edge = stream.Edge
+
+// Stream is a time-ordered sequence of edges.
+type Stream = stream.Stream
+
+// Config parameterizes a HIGGS summary; see DefaultConfig for the paper's
+// recommended values.
+type Config = core.Config
+
+// Summary is a HIGGS graph stream summary. See package core for full
+// method documentation: Insert, Delete, EdgeWeight, VertexOut, VertexIn,
+// PathWeight, SubgraphWeight, Finalize, Stats.
+type Summary = core.Summary
+
+// Stats reports structural statistics of a summary.
+type Stats = core.Stats
+
+// DefaultConfig returns the paper's recommended configuration (§VI-A):
+// 16×16 leaf matrices, 19-bit fingerprints, 3-entry buckets, θ = 4,
+// 4 mapping positions per vertex, overflow blocks enabled.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New returns an empty HIGGS summary for the given configuration.
+func New(cfg Config) (*Summary, error) { return core.New(cfg) }
+
+// FromStream builds a summary over an existing stream and finalizes it, so
+// it is immediately ready for whole-range queries and space accounting.
+func FromStream(cfg Config, s Stream) (*Summary, error) {
+	sum, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range s {
+		sum.Insert(e)
+	}
+	sum.Finalize()
+	return sum, nil
+}
+
+// GenerateStream synthesizes a deterministic graph stream with power-law
+// vertex degrees and bursty arrivals; see stream.Config for the knobs.
+func GenerateStream(cfg StreamConfig) (Stream, error) { return stream.Generate(cfg) }
+
+// StreamConfig controls synthetic stream generation.
+type StreamConfig = stream.Config
+
+// Load restores a summary from a snapshot previously written with
+// Summary.WriteTo. Unless the snapshot was finalized, the loaded summary
+// continues accepting inserts where the original left off.
+func Load(r io.Reader) (*Summary, error) { return core.Read(r) }

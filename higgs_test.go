@@ -1,0 +1,77 @@
+package higgs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"higgs"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	s, err := higgs.New(higgs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(higgs.Edge{S: 1, D: 2, W: 3, T: 100})
+	s.Insert(higgs.Edge{S: 1, D: 2, W: 4, T: 200})
+	s.Insert(higgs.Edge{S: 2, D: 3, W: 5, T: 300})
+	if got := s.EdgeWeight(1, 2, 0, 250); got != 7 {
+		t.Errorf("EdgeWeight = %d, want 7", got)
+	}
+	if got := s.VertexOut(1, 0, 400); got != 7 {
+		t.Errorf("VertexOut = %d, want 7", got)
+	}
+	if got := s.PathWeight([]uint64{1, 2, 3}, 0, 400); got != 12 {
+		t.Errorf("PathWeight = %d, want 12", got)
+	}
+}
+
+func TestFacadeFromStream(t *testing.T) {
+	st, err := higgs.GenerateStream(higgs.StreamConfig{
+		Nodes: 50, Edges: 2000, Span: 10000, Skew: 2.0, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := higgs.FromStream(higgs.DefaultConfig(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.Items != 2000 {
+		t.Errorf("Items = %d", stats.Items)
+	}
+	if stats.SpaceBytes <= 0 {
+		t.Error("space accounting missing")
+	}
+}
+
+func TestFacadeSnapshot(t *testing.T) {
+	s, err := higgs.New(higgs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(higgs.Edge{S: 1, D: 2, W: 3, T: 100})
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := higgs.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.EdgeWeight(1, 2, 0, 200); got != 3 {
+		t.Errorf("loaded EdgeWeight = %d, want 3", got)
+	}
+}
+
+func TestFacadeRejectsBadConfig(t *testing.T) {
+	cfg := higgs.DefaultConfig()
+	cfg.Theta = 3
+	if _, err := higgs.New(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := higgs.FromStream(cfg, nil); err == nil {
+		t.Fatal("FromStream accepted invalid config")
+	}
+}

@@ -1,0 +1,188 @@
+package auxo
+
+import (
+	"math/rand"
+	"testing"
+
+	"higgs/internal/exact"
+	"higgs/internal/stream"
+)
+
+func build(t *testing.T, cfg Config) *Sketch {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func defCfg() Config { return Config{D: 32, FBits: 12, Maps: 4, Seed: 1} }
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{D: 0, FBits: 12, Maps: 4},
+		{D: 33, FBits: 12, Maps: 4},
+		{D: 32, FBits: 1, Maps: 4},
+		{D: 32, FBits: 33, Maps: 4},
+		{D: 32, FBits: 12, Maps: 0},
+		{D: 32, FBits: 12, Maps: 17},
+		{D: 2, FBits: 12, Maps: 4},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBasicQueries(t *testing.T) {
+	s := build(t, defCfg())
+	s.Insert(stream.Edge{S: 1, D: 2, W: 3})
+	s.Insert(stream.Edge{S: 1, D: 2, W: 2})
+	s.Insert(stream.Edge{S: 1, D: 7, W: 4})
+	s.Insert(stream.Edge{S: 9, D: 2, W: 5})
+	if got := s.EdgeWeightAll(1, 2); got != 5 {
+		t.Errorf("edge (1,2) = %d, want 5", got)
+	}
+	if got := s.VertexOutAll(1); got != 9 {
+		t.Errorf("out(1) = %d, want 9", got)
+	}
+	if got := s.VertexInAll(2); got != 10 {
+		t.Errorf("in(2) = %d, want 10", got)
+	}
+	if s.Nodes() != 1 {
+		t.Errorf("Nodes = %d, want 1 (no overflow yet)", s.Nodes())
+	}
+}
+
+func TestTreeGrowsUnderLoad(t *testing.T) {
+	s := build(t, Config{D: 4, FBits: 12, Maps: 2, Seed: 2})
+	for i := uint64(0); i < 2000; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 10000, W: 1})
+	}
+	if s.Nodes() < 4 {
+		t.Fatalf("PET did not grow: %d nodes", s.Nodes())
+	}
+	// Every edge remains queryable with at least its true weight.
+	for i := uint64(0); i < 2000; i++ {
+		if got := s.EdgeWeightAll(i, i+10000); got < 1 {
+			t.Fatalf("edge %d lost: %d", i, got)
+		}
+	}
+}
+
+func TestOneSidedVsExact(t *testing.T) {
+	st, err := stream.Generate(stream.Config{Nodes: 300, Edges: 15000, Span: 10000, Skew: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.FromStream(st)
+	s := build(t, Config{D: 32, FBits: 14, Maps: 4, Seed: 4})
+	for _, e := range st {
+		s.Insert(e)
+	}
+	first, last := truth.Span()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		sv, dv := uint64(rng.Intn(300)), uint64(rng.Intn(300))
+		if got, want := s.EdgeWeightAll(sv, dv), truth.EdgeWeight(sv, dv, first, last); got < want {
+			t.Fatalf("edge (%d,%d) = %d < truth %d", sv, dv, got, want)
+		}
+		if got, want := s.VertexOutAll(sv), truth.VertexOut(sv, first, last); got < want {
+			t.Fatalf("out(%d) = %d < truth %d", sv, got, want)
+		}
+		if got, want := s.VertexInAll(dv), truth.VertexIn(dv, first, last); got < want {
+			t.Fatalf("in(%d) = %d < truth %d", dv, got, want)
+		}
+	}
+}
+
+func TestDeepStoreFallback(t *testing.T) {
+	// FBits=2 exhausts prefixes after 4 levels; heavy load must overflow
+	// into the exact deep store without losing weight.
+	s := build(t, Config{D: 2, FBits: 2, Maps: 1, Seed: 6})
+	var want int64
+	for i := uint64(0); i < 500; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 600, W: 1})
+		want++
+	}
+	if s.DeepLen() == 0 {
+		t.Fatal("deep store unused under extreme load")
+	}
+	var got int64
+	for i := uint64(0); i < 500; i++ {
+		got += s.EdgeWeightAll(i, i+600)
+	}
+	if got < want {
+		t.Fatalf("total %d < inserted %d", got, want)
+	}
+	var outSum int64
+	for i := uint64(0); i < 500; i++ {
+		outSum += s.VertexOutAll(i)
+	}
+	if outSum < want {
+		t.Fatalf("out total %d < inserted %d", outSum, want)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := build(t, defCfg())
+	e := stream.Edge{S: 5, D: 6, W: 4}
+	s.Insert(e)
+	if !s.Delete(e) {
+		t.Fatal("delete failed")
+	}
+	if got := s.EdgeWeightAll(5, 6); got != 0 {
+		t.Errorf("after delete = %d, want 0", got)
+	}
+	if s.Delete(stream.Edge{S: 500, D: 600, W: 1}) {
+		t.Error("delete of absent edge succeeded")
+	}
+}
+
+func TestDeleteInDeepTree(t *testing.T) {
+	s := build(t, Config{D: 4, FBits: 12, Maps: 2, Seed: 7})
+	var edges []stream.Edge
+	for i := uint64(0); i < 1000; i++ {
+		e := stream.Edge{S: i, D: i + 5000, W: 1}
+		s.Insert(e)
+		edges = append(edges, e)
+	}
+	for _, e := range edges[:200] {
+		if !s.Delete(e) {
+			t.Fatalf("delete %+v failed", e)
+		}
+		if got := s.EdgeWeightAll(e.S, e.D); got < 0 {
+			t.Fatalf("negative weight after delete: %d", got)
+		}
+	}
+}
+
+func TestHashedKeyRoundTrip(t *testing.T) {
+	s := build(t, defCfg())
+	s.AddHashed(111, 222, 9)
+	if got := s.EdgeWeightHashed(111, 222); got != 9 {
+		t.Errorf("hashed edge = %d, want 9", got)
+	}
+	if got := s.VertexOutHashed(111); got != 9 {
+		t.Errorf("hashed out = %d", got)
+	}
+	if got := s.VertexInHashed(222); got != 9 {
+		t.Errorf("hashed in = %d", got)
+	}
+	if !s.SubHashed(111, 222, 9) {
+		t.Error("SubHashed failed")
+	}
+}
+
+func TestSpaceGrowsWithTree(t *testing.T) {
+	s := build(t, Config{D: 4, FBits: 12, Maps: 2, Seed: 8})
+	before := s.SpaceBytes()
+	for i := uint64(0); i < 2000; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 9000, W: 1})
+	}
+	if s.SpaceBytes() <= before {
+		t.Error("space accounting did not grow with tree")
+	}
+}

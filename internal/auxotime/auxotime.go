@@ -1,0 +1,37 @@
+// Package auxotime implements AuxoTime and AuxoTime-cpt, the baselines the
+// paper constructs in §VI-A by combining Auxo (the strongest scalable
+// non-temporal graph sketch) with Horae's time-prefix range decomposition:
+// one Auxo prefix-embedded tree per stored dyadic layer, keyed by
+// (vertex, t >> layer).
+package auxotime
+
+import (
+	"higgs/internal/auxo"
+	"higgs/internal/horae"
+)
+
+// Config sizes an AuxoTime summary.
+type Config struct {
+	// MaxLevel is the top dyadic level (see horae.Config.MaxLevel).
+	MaxLevel int
+	// Compact selects the -cpt variant (store only even layers).
+	Compact bool
+	// Layer is the Auxo geometry of each stored layer.
+	Layer auxo.Config
+	// Seed seeds the shared vertex hasher.
+	Seed uint64
+}
+
+// New returns an empty AuxoTime summary. The result is a *horae.Summary
+// whose layers are Auxo trees; it supports the full TRQ interface.
+func New(cfg Config) (*horae.Summary, error) {
+	name := "AuxoTime"
+	if cfg.Compact {
+		name = "AuxoTime-cpt"
+	}
+	return horae.NewWithLayers(name, cfg.MaxLevel, cfg.Compact, cfg.Seed, func(level int) (horae.Layer, error) {
+		lc := cfg.Layer
+		lc.Seed = cfg.Seed + uint64(level)*0x85ebca6b
+		return auxo.New(lc)
+	})
+}

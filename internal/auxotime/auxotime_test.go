@@ -1,0 +1,138 @@
+package auxotime
+
+import (
+	"math/rand"
+	"testing"
+
+	"higgs/internal/auxo"
+	"higgs/internal/exact"
+	"higgs/internal/horae"
+	"higgs/internal/stream"
+	"higgs/internal/trq"
+)
+
+func build(t *testing.T, compact bool) *horae.Summary {
+	t.Helper()
+	s, err := New(Config{
+		MaxLevel: 16,
+		Compact:  compact,
+		Layer:    auxo.Config{D: 32, FBits: 12, Maps: 4},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNames(t *testing.T) {
+	if build(t, false).Name() != "AuxoTime" {
+		t.Error("wrong name")
+	}
+	if build(t, true).Name() != "AuxoTime-cpt" {
+		t.Error("wrong compact name")
+	}
+}
+
+func TestTemporalRanges(t *testing.T) {
+	for _, compact := range []bool{false, true} {
+		s := build(t, compact)
+		s.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 10})
+		s.Insert(stream.Edge{S: 1, D: 2, W: 2, T: 20})
+		if got := s.EdgeWeight(1, 2, 0, 100); got != 5 {
+			t.Errorf("compact=%v: full range = %d, want 5", compact, got)
+		}
+		if got := s.EdgeWeight(1, 2, 15, 25); got != 2 {
+			t.Errorf("compact=%v: [15,25] = %d, want 2", compact, got)
+		}
+		if got := s.VertexOut(1, 0, 100); got != 5 {
+			t.Errorf("compact=%v: out = %d, want 5", compact, got)
+		}
+	}
+}
+
+func TestOneSidedVsExact(t *testing.T) {
+	st, err := stream.Generate(stream.Config{Nodes: 200, Edges: 8000, Span: 50000, Skew: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.FromStream(st)
+	s, err := New(Config{
+		MaxLevel: trq.LevelsForSpan(50000, 30),
+		Layer:    auxo.Config{D: 64, FBits: 13, Maps: 4},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range st {
+		s.Insert(e)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		ts := int64(rng.Intn(50000))
+		te := ts + int64(rng.Intn(20000))
+		sv, dv := uint64(rng.Intn(200)), uint64(rng.Intn(200))
+		if got, want := s.EdgeWeight(sv, dv, ts, te), truth.EdgeWeight(sv, dv, ts, te); got < want {
+			t.Fatalf("edge (%d,%d) [%d,%d] = %d < truth %d", sv, dv, ts, te, got, want)
+		}
+		if got, want := s.VertexOut(sv, ts, te), truth.VertexOut(sv, ts, te); got < want {
+			t.Fatalf("out(%d) = %d < truth %d", sv, got, want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := build(t, false)
+	e := stream.Edge{S: 1, D: 2, W: 3, T: 10}
+	s.Insert(e)
+	if !s.Delete(e) {
+		t.Fatal("delete failed")
+	}
+	if got := s.EdgeWeight(1, 2, 0, 100); got != 0 {
+		t.Errorf("after delete = %d, want 0", got)
+	}
+}
+
+func TestCompactStoresFewerLayersAndLessSpace(t *testing.T) {
+	full, cpt := build(t, false), build(t, true)
+	if cpt.StoredLayers() >= full.StoredLayers() {
+		t.Fatalf("cpt stores %d layers, full %d", cpt.StoredLayers(), full.StoredLayers())
+	}
+	st, err := stream.Generate(stream.Config{Nodes: 150, Edges: 4000, Span: 40000, Skew: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range st {
+		full.Insert(e)
+		cpt.Insert(e)
+	}
+	if cpt.SpaceBytes() >= full.SpaceBytes() {
+		t.Fatalf("cpt space %d not below full %d", cpt.SpaceBytes(), full.SpaceBytes())
+	}
+	if full.Items() != int64(len(st)) || cpt.Items() != int64(len(st)) {
+		t.Fatal("item accounting wrong")
+	}
+}
+
+func TestRangeAdditivityHolds(t *testing.T) {
+	// Dyadic decomposition plus per-layer sums must tile ranges exactly:
+	// [a,b] equals [a,m] + [m+1,b] for AuxoTime too (same invariant as
+	// HIGGS, via disjoint block covers).
+	s := build(t, false)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 3000; i++ {
+		s.Insert(stream.Edge{S: uint64(rng.Intn(50)), D: uint64(rng.Intn(50)), W: 1, T: int64(i * 10)})
+	}
+	for i := 0; i < 200; i++ {
+		lo := int64(rng.Intn(30000))
+		hi := lo + int64(rng.Intn(10000))
+		mid := lo + (hi-lo)/2
+		sv, dv := uint64(rng.Intn(50)), uint64(rng.Intn(50))
+		whole := s.EdgeWeight(sv, dv, lo, hi)
+		parts := s.EdgeWeight(sv, dv, lo, mid) + s.EdgeWeight(sv, dv, mid+1, hi)
+		if whole != parts {
+			t.Fatalf("additivity broken at (%d,%d) [%d,%d]: %d != %d", sv, dv, lo, hi, whole, parts)
+		}
+	}
+}

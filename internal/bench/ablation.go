@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"higgs/internal/core"
+	"higgs/internal/metrics"
+	"higgs/internal/trq"
+)
+
+// Ablation sweeps the HIGGS design choices beyond the paper's Fig. 20/21:
+// the fan-out θ (which fixes R, the fingerprint bits promoted per level),
+// the bucket depth b, and the mapping positions r. For each variant it
+// reports structure shape, space, insert throughput, and edge-query
+// accuracy/latency at Lq = 10^5 — the measurements DESIGN.md's design
+// notes reference.
+func Ablation(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Ablation: HIGGS design choices (θ / b / r sweeps) ==")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("dataset", "variant", "layers", "leaves", "space",
+		"throughput", "edge-AAE(1e5)", "latency(1e5)")
+	type variant struct {
+		name string
+		cfg  func() core.Config
+	}
+	base := func() core.Config { return core.DefaultConfig() }
+	variants := []variant{
+		{"default (θ=4,b=3,r=4)", base},
+		{"θ=16 (R=2)", func() core.Config { c := base(); c.Theta = 16; return c }},
+		{"b=1", func() core.Config { c := base(); c.B = 1; return c }},
+		{"b=2", func() core.Config { c := base(); c.B = 2; return c }},
+		{"b=5", func() core.Config { c := base(); c.B = 5; return c }},
+		{"r=1", func() core.Config { c := base(); c.Maps = 1; return c }},
+		{"r=2", func() core.Config { c := base(); c.Maps = 2; return c }},
+		{"r=8", func() core.Config { c := base(); c.Maps = 8; return c }},
+	}
+	for _, ds := range dss {
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		queries := w.EdgeQueries(o.EdgeQueries, midRange)
+		for _, v := range variants {
+			cfg := v.cfg()
+			cfg.Seed = uint64(o.Seed)
+			s, err := core.New(cfg)
+			if err != nil {
+				return fmt.Errorf("bench: ablation %q: %w", v.name, err)
+			}
+			start := time.Now()
+			for _, e := range ds.Stream {
+				s.Insert(e)
+			}
+			s.Finalize()
+			insertElapsed := time.Since(start)
+			var acc metrics.Accuracy
+			qStart := time.Now()
+			for _, q := range queries {
+				acc.Observe(s.EdgeWeight(q.S, q.D, q.Ts, q.Te), ds.Truth.EdgeWeight(q.S, q.D, q.Ts, q.Te))
+			}
+			qElapsed := time.Since(qStart)
+			st := s.Stats()
+			t.AddRow(ds.Name, v.name,
+				fmt.Sprint(st.Layers), fmt.Sprint(st.Leaves),
+				metrics.FormatBytes(st.SpaceBytes),
+				metrics.FormatEPS(metrics.Throughput(st.Items, insertElapsed)),
+				metrics.FormatFloat(acc.AAE()),
+				perOp(qElapsed, acc.N()))
+			s.Close()
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// BufferBudget sweeps the baseline GSS buffer budget to show how the
+// Horae family degrades as memory tightens — the sensitivity study behind
+// the DESIGN.md §4 memory-regime substitution.
+func BufferBudget(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Sensitivity: Horae accuracy vs GSS buffer budget ==")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("dataset", "budget(frac of cells)", "edge-AAE(1e5)", "vertex-AAE(1e5)", "space")
+	for _, ds := range dss {
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		eq := w.EdgeQueries(o.EdgeQueries, midRange)
+		vq := w.VertexQueries(o.VertexQueries, midRange)
+		for _, frac := range []float64{0, 0.25, 1.0, 4.0} {
+			s, err := buildHoraeWithBudget(ds, uint64(o.Seed), frac)
+			if err != nil {
+				return err
+			}
+			var accE, accV metrics.Accuracy
+			for _, q := range eq {
+				accE.Observe(s.EdgeWeight(q.S, q.D, q.Ts, q.Te), ds.Truth.EdgeWeight(q.S, q.D, q.Ts, q.Te))
+			}
+			for _, q := range vq {
+				if q.Out {
+					accV.Observe(s.VertexOut(q.V, q.Ts, q.Te), ds.Truth.VertexOut(q.V, q.Ts, q.Te))
+				} else {
+					accV.Observe(s.VertexIn(q.V, q.Ts, q.Te), ds.Truth.VertexIn(q.V, q.Ts, q.Te))
+				}
+			}
+			label := fmt.Sprintf("%.2f", frac)
+			if frac == 0 {
+				label = "unbounded"
+			}
+			t.AddRow(ds.Name, label,
+				metrics.FormatFloat(accE.AAE()), metrics.FormatFloat(accV.AAE()),
+				metrics.FormatBytes(s.SpaceBytes()))
+			trq.Close(s)
+		}
+	}
+	return t.Render(o.Out)
+}

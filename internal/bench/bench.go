@@ -1,0 +1,285 @@
+// Package bench implements the experiment harness that regenerates every
+// table and figure of the paper's evaluation (§VI). Each experiment builds
+// the six competitors (HIGGS, PGSS, Horae, Horae-cpt, AuxoTime,
+// AuxoTime-cpt) on the selected datasets, replays the stream, runs the
+// figure's workload, and prints one table row per plotted point.
+// DESIGN.md §5 maps experiment IDs to paper figures.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"higgs/internal/auxo"
+	"higgs/internal/auxotime"
+	"higgs/internal/core"
+	"higgs/internal/exact"
+	"higgs/internal/gss"
+	"higgs/internal/horae"
+	"higgs/internal/pgss"
+	"higgs/internal/stream"
+	"higgs/internal/trq"
+)
+
+// Dataset bundles a stream with its ground truth and summary statistics.
+type Dataset struct {
+	Name   string
+	Stream stream.Stream
+	Truth  *exact.Store
+	Stats  stream.Stats
+}
+
+// LoadPreset materializes one of the synthetic stand-ins for the paper's
+// datasets at the given scale.
+func LoadPreset(p stream.Preset, scale float64) (*Dataset, error) {
+	s, err := stream.Load(p, scale)
+	if err != nil {
+		return nil, err
+	}
+	return NewDataset(string(p), s), nil
+}
+
+// NewDataset wraps a stream with its exact store and statistics.
+func NewDataset(name string, s stream.Stream) *Dataset {
+	return &Dataset{
+		Name:   name,
+		Stream: s,
+		Truth:  exact.FromStream(s),
+		Stats:  stream.Summarize(s),
+	}
+}
+
+// Options tunes experiment cost. The defaults keep the full suite runnable
+// on a laptop; the paper's original volumes (100K edge queries, 5M-edge
+// synthetic sets) are reachable by raising Scale and the query counts.
+type Options struct {
+	Scale           float64   // preset scale factor (default 0.5)
+	EdgeQueries     int       // edge queries per range length (default 2000)
+	VertexQueries   int       // vertex queries per range length (default 400)
+	PathQueries     int       // path queries per hop count (default 200)
+	SubgraphQueries int       // subgraph queries per size (default 50)
+	SkewNodes       int       // Fig. 14/15 synthetic universe (default 20000)
+	SkewEdges       int       // Fig. 14/15 synthetic volume (default 300000)
+	Seed            int64     // workload seed
+	Out             io.Writer // defaults to os.Stdout
+	Presets         []stream.Preset
+}
+
+// DefaultOptions returns laptop-scale settings.
+func DefaultOptions() Options {
+	return Options{
+		Scale:           0.5,
+		EdgeQueries:     2000,
+		VertexQueries:   400,
+		PathQueries:     200,
+		SubgraphQueries: 50,
+		SkewNodes:       20000,
+		SkewEdges:       300000,
+		Seed:            42,
+		Out:             os.Stdout,
+		Presets:         stream.Presets,
+	}
+}
+
+func (o *Options) fill() {
+	d := DefaultOptions()
+	if o.Scale <= 0 {
+		o.Scale = d.Scale
+	}
+	if o.EdgeQueries <= 0 {
+		o.EdgeQueries = d.EdgeQueries
+	}
+	if o.VertexQueries <= 0 {
+		o.VertexQueries = d.VertexQueries
+	}
+	if o.PathQueries <= 0 {
+		o.PathQueries = d.PathQueries
+	}
+	if o.SubgraphQueries <= 0 {
+		o.SubgraphQueries = d.SubgraphQueries
+	}
+	if o.SkewNodes <= 0 {
+		o.SkewNodes = d.SkewNodes
+	}
+	if o.SkewEdges <= 0 {
+		o.SkewEdges = d.SkewEdges
+	}
+	if o.Out == nil {
+		o.Out = d.Out
+	}
+	if len(o.Presets) == 0 {
+		o.Presets = d.Presets
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+}
+
+// Builder constructs one competitor for a dataset.
+type Builder struct {
+	Name string
+	New  func() (trq.Summary, error)
+}
+
+// layerDim sizes a Horae/AuxoTime layer the way the originals run in the
+// paper's memory budget: total layer space is a small multiple of the
+// stream size, so each layer's matrix is ~4–8× overloaded and the excess
+// spills into the fingerprint-keyed buffer — the regime in which the
+// baselines' published accuracy/latency costs appear.
+func layerDim(edges int) uint32 {
+	target := float64(edges) / 6
+	d := uint32(64)
+	for float64(d)*float64(d) < target && d < 1024 {
+		d <<= 1
+	}
+	return d
+}
+
+// zRatio returns the paper's |E|/Z load ratio for a dataset (Table II edge
+// counts against Z = d1·2^F1 = 2^23). Scaling experiments down only
+// preserves the paper's accuracy regime if this ratio is preserved: with
+// the original Z kept at laptop-scale streams every structure answers
+// nearly exactly and the accuracy separation the paper plots disappears.
+// Synthetic families (Fig. 14/15: 5M edges) use their paper ratio too.
+func zRatio(name string) float64 {
+	switch stream.Preset(name) {
+	case stream.Lkml:
+		return 1_096_440.0 / (1 << 23)
+	case stream.WikiTalk:
+		return 24_981_163.0 / (1 << 23)
+	case stream.StackOverflow:
+		return 63_497_050.0 / (1 << 23)
+	default:
+		return 5_000_000.0 / (1 << 23)
+	}
+}
+
+// scaledFBits returns the fingerprint width giving a structure with
+// address space d a total hash range of z, clamped to [4, 19].
+func scaledFBits(z float64, d uint32) uint {
+	bits := math.Round(math.Log2(z / float64(d)))
+	switch {
+	case bits < 4:
+		return 4
+	case bits > 19:
+		return 19
+	default:
+		return uint(bits)
+	}
+}
+
+// Competitors returns the paper's six competitors (§VI-A) sized for the
+// dataset following each baseline paper's guidance. All hash ranges are
+// aligned to the same Z (paper: "the Z value of HIGGS aligns with those of
+// the baselines"), with Z scaled to preserve the paper's |E|/Z ratio.
+func Competitors(ds *Dataset, seed uint64) []Builder {
+	edges := ds.Stats.Edges
+	maxLevel := trq.LevelsForSpan(ds.Stats.Span()+1, 25)
+	if maxLevel < 1 {
+		maxLevel = 1
+	}
+	z := float64(edges) / zRatio(ds.Name)
+	d1 := core.DefaultConfig().D1
+	higgsF := scaledFBits(z, d1)
+	gssD := layerDim(edges)
+	gssCfg := gss.Config{
+		D:     gssD,
+		FBits: scaledFBits(z, gssD),
+		Maps:  4,
+		// Cap the exact buffer at 25% of the matrix, the memory-budget
+		// regime of the original deployments (DESIGN.md §4).
+		MaxBuffer: int(gssD) * int(gssD) / 4,
+	}
+	auxoD := gssCfg.D / 2
+	if auxoD < 64 {
+		auxoD = 64
+	}
+	auxoCfg := auxo.Config{D: auxoD, FBits: scaledFBits(z, auxoD), Maps: 4}
+	// PGSS has no fingerprints: its collision domain is the d×d bucket
+	// grid itself, so d² plays the role of Z. Its per-bucket granularity
+	// machinery makes buckets expensive, which in the original's memory
+	// budget buys ~8× fewer buckets than raw counters would get.
+	pgssD := uint32(64)
+	for float64(pgssD)*float64(pgssD) < z/8 && pgssD < 2048 {
+		pgssD <<= 1
+	}
+
+	return []Builder{
+		{Name: "HIGGS", New: func() (trq.Summary, error) {
+			cfg := core.DefaultConfig()
+			cfg.F1 = higgsF
+			cfg.Seed = seed
+			return core.New(cfg)
+		}},
+		{Name: "PGSS", New: func() (trq.Summary, error) {
+			return pgss.New(pgss.Config{Matrices: 2, D: pgssD, Seed: seed})
+		}},
+		{Name: "Horae", New: func() (trq.Summary, error) {
+			return horae.New(horae.Config{MaxLevel: maxLevel, Layer: gssCfg, Seed: seed})
+		}},
+		{Name: "Horae-cpt", New: func() (trq.Summary, error) {
+			return horae.New(horae.Config{MaxLevel: maxLevel, Compact: true, Layer: gssCfg, Seed: seed})
+		}},
+		{Name: "AuxoTime", New: func() (trq.Summary, error) {
+			return auxotime.New(auxotime.Config{MaxLevel: maxLevel, Layer: auxoCfg, Seed: seed})
+		}},
+		{Name: "AuxoTime-cpt", New: func() (trq.Summary, error) {
+			return auxotime.New(auxotime.Config{MaxLevel: maxLevel, Compact: true, Layer: auxoCfg, Seed: seed})
+		}},
+	}
+}
+
+// buildHoraeWithBudget builds a Horae whose per-layer GSS buffer budget is
+// frac·d² entries (0 = unbounded) and replays the dataset into it. It is
+// used by the buffer-budget sensitivity experiment.
+func buildHoraeWithBudget(ds *Dataset, seed uint64, frac float64) (trq.Summary, error) {
+	edges := ds.Stats.Edges
+	maxLevel := trq.LevelsForSpan(ds.Stats.Span()+1, 25)
+	if maxLevel < 1 {
+		maxLevel = 1
+	}
+	z := float64(edges) / zRatio(ds.Name)
+	gssD := layerDim(edges)
+	cfg := gss.Config{
+		D:         gssD,
+		FBits:     scaledFBits(z, gssD),
+		Maps:      4,
+		MaxBuffer: int(float64(gssD) * float64(gssD) * frac),
+	}
+	h, err := horae.New(horae.Config{MaxLevel: maxLevel, Layer: cfg, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("bench: horae budget %.2f: %w", frac, err)
+	}
+	for _, e := range ds.Stream {
+		h.Insert(e)
+	}
+	return h, nil
+}
+
+// buildAndFill constructs a competitor and replays the dataset into it.
+func buildAndFill(b Builder, ds *Dataset) (trq.Summary, error) {
+	s, err := b.New()
+	if err != nil {
+		return nil, fmt.Errorf("bench: build %s: %w", b.Name, err)
+	}
+	for _, e := range ds.Stream {
+		s.Insert(e)
+	}
+	trq.Finalize(s)
+	return s, nil
+}
+
+// datasets loads the presets selected by the options.
+func (o Options) datasets() ([]*Dataset, error) {
+	var out []*Dataset
+	for _, p := range o.Presets {
+		ds, err := LoadPreset(p, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}

@@ -1,0 +1,513 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"higgs/internal/core"
+	"higgs/internal/metrics"
+	"higgs/internal/stream"
+	"higgs/internal/trq"
+)
+
+// rangeLengths is the paper's query-range sweep Lq ∈ {10^1 … 10^7} (§VI-A).
+var rangeLengths = []int64{1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7}
+
+// pathHops is the paper's path-length sweep (1–7 hops).
+var pathHops = []int{1, 2, 3, 4, 5, 6, 7}
+
+// subgraphSizes is the paper's subgraph-size sweep (50–350 edges).
+var subgraphSizes = []int{50, 100, 150, 200, 250, 300, 350}
+
+// midRange is the fixed range length for path/subgraph/parameter
+// experiments (paper uses 10^5).
+const midRange = int64(1e5)
+
+// Table2 prints the dataset summary (paper Table II).
+func Table2(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Table II: Summary of Datasets (synthetic stand-ins; DESIGN.md §4) ==")
+	t := metrics.NewTable("dataset", "nodes", "edges", "distinct-edges", "time-span", "max-out-deg", "max-in-deg")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		t.AddRow(ds.Name,
+			fmt.Sprint(ds.Stats.Nodes),
+			fmt.Sprint(ds.Stats.Edges),
+			fmt.Sprint(ds.Stats.DistinctEdges),
+			fmt.Sprintf("%ds", ds.Stats.Span()),
+			fmt.Sprint(ds.Stats.MaxOutDegree),
+			fmt.Sprint(ds.Stats.MaxInDegree),
+		)
+	}
+	return t.Render(o.Out)
+}
+
+// Fig10EdgeQueries prints edge-query AAE, ARE, and latency versus range
+// length on every dataset (paper Fig. 10 a–i).
+func Fig10EdgeQueries(o Options) error {
+	o.fill()
+	fmt.Fprintf(o.Out, "== Fig. 10: Edge queries — AAE / ARE / latency vs Lq (%d queries per point) ==\n", o.EdgeQueries)
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("dataset", "structure", "Lq", "AAE", "ARE", "latency", "undercounts")
+	for _, ds := range dss {
+		builders := Competitors(ds, uint64(o.Seed))
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		queries := make(map[int64][]trq.EdgeQuery, len(rangeLengths))
+		for _, lq := range rangeLengths {
+			queries[lq] = w.EdgeQueries(o.EdgeQueries, lq)
+		}
+		for _, b := range builders {
+			s, err := buildAndFill(b, ds)
+			if err != nil {
+				return err
+			}
+			for _, lq := range rangeLengths {
+				var acc metrics.Accuracy
+				start := time.Now()
+				for _, q := range queries[lq] {
+					got := s.EdgeWeight(q.S, q.D, q.Ts, q.Te)
+					acc.Observe(got, ds.Truth.EdgeWeight(q.S, q.D, q.Ts, q.Te))
+				}
+				elapsed := time.Since(start)
+				t.AddRow(ds.Name, b.Name, fmt.Sprintf("1e%d", log10(lq)),
+					metrics.FormatFloat(acc.AAE()), metrics.FormatFloat(acc.ARE()),
+					perOp(elapsed, acc.N()), fmt.Sprint(acc.Undercounts()))
+			}
+			trq.Close(s)
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// Fig11VertexQueries prints vertex-query AAE, ARE, and latency versus range
+// length (paper Fig. 11 a–i).
+func Fig11VertexQueries(o Options) error {
+	o.fill()
+	fmt.Fprintf(o.Out, "== Fig. 11: Vertex queries — AAE / ARE / latency vs Lq (%d queries per point) ==\n", o.VertexQueries)
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("dataset", "structure", "Lq", "AAE", "ARE", "latency", "undercounts")
+	for _, ds := range dss {
+		builders := Competitors(ds, uint64(o.Seed))
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		queries := make(map[int64][]trq.VertexQuery, len(rangeLengths))
+		for _, lq := range rangeLengths {
+			queries[lq] = w.VertexQueries(o.VertexQueries, lq)
+		}
+		for _, b := range builders {
+			s, err := buildAndFill(b, ds)
+			if err != nil {
+				return err
+			}
+			for _, lq := range rangeLengths {
+				var acc metrics.Accuracy
+				start := time.Now()
+				for _, q := range queries[lq] {
+					var got, want int64
+					if q.Out {
+						got = s.VertexOut(q.V, q.Ts, q.Te)
+						want = ds.Truth.VertexOut(q.V, q.Ts, q.Te)
+					} else {
+						got = s.VertexIn(q.V, q.Ts, q.Te)
+						want = ds.Truth.VertexIn(q.V, q.Ts, q.Te)
+					}
+					acc.Observe(got, want)
+				}
+				elapsed := time.Since(start)
+				t.AddRow(ds.Name, b.Name, fmt.Sprintf("1e%d", log10(lq)),
+					metrics.FormatFloat(acc.AAE()), metrics.FormatFloat(acc.ARE()),
+					perOp(elapsed, acc.N()), fmt.Sprint(acc.Undercounts()))
+			}
+			trq.Close(s)
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// Fig12PathQueries prints path-query AAE, ARE, and latency versus hop count
+// at Lq = 10^5 (paper Fig. 12 a–i).
+func Fig12PathQueries(o Options) error {
+	o.fill()
+	fmt.Fprintf(o.Out, "== Fig. 12: Path queries — AAE / ARE / latency vs hops (Lq=1e5, %d queries per point) ==\n", o.PathQueries)
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("dataset", "structure", "hops", "AAE", "ARE", "latency")
+	for _, ds := range dss {
+		builders := Competitors(ds, uint64(o.Seed))
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		queries := make(map[int][]trq.PathQuery, len(pathHops))
+		for _, h := range pathHops {
+			queries[h] = w.PathQueries(o.PathQueries, h, midRange)
+		}
+		for _, b := range builders {
+			s, err := buildAndFill(b, ds)
+			if err != nil {
+				return err
+			}
+			for _, h := range pathHops {
+				var acc metrics.Accuracy
+				start := time.Now()
+				for _, q := range queries[h] {
+					got := trq.PathWeight(s, q.Path, q.Ts, q.Te)
+					acc.Observe(got, ds.Truth.PathWeight(q.Path, q.Ts, q.Te))
+				}
+				elapsed := time.Since(start)
+				t.AddRow(ds.Name, b.Name, fmt.Sprint(h),
+					metrics.FormatFloat(acc.AAE()), metrics.FormatFloat(acc.ARE()),
+					perOp(elapsed, acc.N()))
+			}
+			trq.Close(s)
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// Fig13SubgraphQueries prints subgraph-query AAE, ARE, and latency versus
+// subgraph size at Lq = 10^5 (paper Fig. 13 a–i).
+func Fig13SubgraphQueries(o Options) error {
+	o.fill()
+	fmt.Fprintf(o.Out, "== Fig. 13: Subgraph queries — AAE / ARE / latency vs size (Lq=1e5, %d queries per point) ==\n", o.SubgraphQueries)
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("dataset", "structure", "size", "AAE", "ARE", "latency")
+	for _, ds := range dss {
+		builders := Competitors(ds, uint64(o.Seed))
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		queries := make(map[int][]trq.SubgraphQuery, len(subgraphSizes))
+		for _, sz := range subgraphSizes {
+			queries[sz] = w.SubgraphQueries(o.SubgraphQueries, sz, midRange)
+		}
+		for _, b := range builders {
+			s, err := buildAndFill(b, ds)
+			if err != nil {
+				return err
+			}
+			for _, sz := range subgraphSizes {
+				var acc metrics.Accuracy
+				start := time.Now()
+				for _, q := range queries[sz] {
+					got := trq.SubgraphWeight(s, q.Edges, q.Ts, q.Te)
+					acc.Observe(got, ds.Truth.SubgraphWeight(q.Edges, q.Ts, q.Te))
+				}
+				elapsed := time.Since(start)
+				t.AddRow(ds.Name, b.Name, fmt.Sprint(sz),
+					metrics.FormatFloat(acc.AAE()), metrics.FormatFloat(acc.ARE()),
+					perOp(elapsed, acc.N()))
+			}
+			trq.Close(s)
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// syntheticSweep runs the Fig. 14/15 protocol over a family of synthetic
+// datasets: vertex accuracy and latency plus update cost (space, insert
+// throughput) for every competitor.
+func (o Options) syntheticSweep(title, param string, values []float64, gen func(v float64) (stream.Stream, error)) error {
+	fmt.Fprintln(o.Out, title)
+	t := metrics.NewTable(param, "structure", "AAE", "latency", "space", "throughput")
+	for _, v := range values {
+		st, err := gen(v)
+		if err != nil {
+			return err
+		}
+		ds := NewDataset(fmt.Sprintf("%s=%g", param, v), st)
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		queries := w.VertexQueries(o.VertexQueries, midRange)
+		for _, b := range Competitors(ds, uint64(o.Seed)) {
+			s, err := b.New()
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			for _, e := range ds.Stream {
+				s.Insert(e)
+			}
+			trq.Finalize(s)
+			insertElapsed := time.Since(start)
+			var acc metrics.Accuracy
+			qStart := time.Now()
+			for _, q := range queries {
+				var got, want int64
+				if q.Out {
+					got, want = s.VertexOut(q.V, q.Ts, q.Te), ds.Truth.VertexOut(q.V, q.Ts, q.Te)
+				} else {
+					got, want = s.VertexIn(q.V, q.Ts, q.Te), ds.Truth.VertexIn(q.V, q.Ts, q.Te)
+				}
+				acc.Observe(got, want)
+			}
+			qElapsed := time.Since(qStart)
+			t.AddRow(fmt.Sprintf("%g", v), b.Name,
+				metrics.FormatFloat(acc.AAE()),
+				perOp(qElapsed, acc.N()),
+				metrics.FormatBytes(s.SpaceBytes()),
+				metrics.FormatEPS(metrics.Throughput(int64(len(ds.Stream)), insertElapsed)))
+			trq.Close(s)
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// Fig14Skewness sweeps the power-law exponent (paper Fig. 14).
+func Fig14Skewness(o Options) error {
+	o.fill()
+	return o.syntheticSweep(
+		fmt.Sprintf("== Fig. 14: Vertex queries and update cost by skewness (%d nodes, %d edges) ==", o.SkewNodes, o.SkewEdges),
+		"skew", []float64{1.5, 1.8, 2.1, 2.4, 2.7, 3.0},
+		func(v float64) (stream.Stream, error) {
+			return stream.Skewed(v, o.SkewNodes, o.SkewEdges, o.Seed)
+		})
+}
+
+// Fig15Variance sweeps the arrival variance (paper Fig. 15).
+func Fig15Variance(o Options) error {
+	o.fill()
+	return o.syntheticSweep(
+		fmt.Sprintf("== Fig. 15: Vertex queries and update cost by variance (%d nodes, %d edges) ==", o.SkewNodes, o.SkewEdges),
+		"variance", []float64{600, 800, 1000, 1200, 1400, 1600},
+		func(v float64) (stream.Stream, error) {
+			return stream.Bursty(v, o.SkewNodes, o.SkewEdges, o.Seed)
+		})
+}
+
+// insertPerf measures insertion throughput and mean latency per competitor
+// and dataset (paper Figs. 16 and 17).
+func insertPerf(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable("dataset", "structure", "throughput", "mean-latency")
+	dss, err := o.datasets()
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range dss {
+		for _, b := range Competitors(ds, uint64(o.Seed)) {
+			s, err := b.New()
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for _, e := range ds.Stream {
+				s.Insert(e)
+			}
+			trq.Finalize(s)
+			elapsed := time.Since(start)
+			n := int64(len(ds.Stream))
+			t.AddRow(ds.Name, b.Name,
+				metrics.FormatEPS(metrics.Throughput(n, elapsed)),
+				perOp(elapsed, int(n)))
+			trq.Close(s)
+		}
+	}
+	return t, nil
+}
+
+// Fig16InsertThroughput prints insertion throughput (paper Fig. 16).
+func Fig16InsertThroughput(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Fig. 16/17: Insertion throughput and latency ==")
+	t, err := insertPerf(o)
+	if err != nil {
+		return err
+	}
+	return t.Render(o.Out)
+}
+
+// Fig17InsertLatency prints insertion latency (paper Fig. 17). It shares
+// the measurement pass with Fig16InsertThroughput.
+func Fig17InsertLatency(o Options) error { return Fig16InsertThroughput(o) }
+
+// Fig18DeleteThroughput replays a sample of inserted items as deletions and
+// prints deletion throughput (paper Fig. 18).
+func Fig18DeleteThroughput(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Fig. 18: Deletion throughput ==")
+	t := metrics.NewTable("dataset", "structure", "deletions", "throughput", "found")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		n := len(ds.Stream) / 10
+		if n > 50000 {
+			n = 50000
+		}
+		sample := make([]stream.Edge, 0, n)
+		step := len(ds.Stream) / n
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(ds.Stream) && len(sample) < n; i += step {
+			sample = append(sample, ds.Stream[i])
+		}
+		for _, b := range Competitors(ds, uint64(o.Seed)) {
+			s, err := buildAndFill(b, ds)
+			if err != nil {
+				return err
+			}
+			del, ok := s.(trq.Deleter)
+			if !ok {
+				t.AddRow(ds.Name, b.Name, "-", "unsupported", "-")
+				trq.Close(s)
+				continue
+			}
+			found := 0
+			start := time.Now()
+			for _, e := range sample {
+				if del.Delete(e) {
+					found++
+				}
+			}
+			elapsed := time.Since(start)
+			t.AddRow(ds.Name, b.Name, fmt.Sprint(len(sample)),
+				metrics.FormatEPS(metrics.Throughput(int64(len(sample)), elapsed)),
+				fmt.Sprintf("%d/%d", found, len(sample)))
+			trq.Close(s)
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// Fig19Space prints the space cost of every competitor after replaying each
+// dataset (paper Fig. 19).
+func Fig19Space(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Fig. 19: Space cost ==")
+	t := metrics.NewTable("dataset", "structure", "space", "bytes/edge")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		for _, b := range Competitors(ds, uint64(o.Seed)) {
+			s, err := buildAndFill(b, ds)
+			if err != nil {
+				return err
+			}
+			sp := s.SpaceBytes()
+			t.AddRow(ds.Name, b.Name, metrics.FormatBytes(sp),
+				fmt.Sprintf("%.1f", float64(sp)/float64(ds.Stats.Edges)))
+			trq.Close(s)
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// Fig20Optimizations ablates the three HIGGS optimizations (paper Fig. 20):
+// parallelization (insert throughput), multiple mapping buckets (space),
+// and overflow blocks (accuracy, leaf count).
+func Fig20Optimizations(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Fig. 20: HIGGS optimization ablations ==")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("dataset", "variant", "throughput", "space", "leaves", "edge-AAE(1e5)")
+	for _, ds := range dss {
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		queries := w.EdgeQueries(o.EdgeQueries, midRange)
+		variants := []struct {
+			name string
+			cfg  func() core.Config
+		}{
+			{"baseline", func() core.Config { return core.DefaultConfig() }},
+			{"+parallel", func() core.Config { c := core.DefaultConfig(); c.Parallel = true; return c }},
+			{"-MMB (r=1)", func() core.Config { c := core.DefaultConfig(); c.Maps = 1; return c }},
+			{"-OB", func() core.Config { c := core.DefaultConfig(); c.OverflowBlocks = false; return c }},
+		}
+		for _, v := range variants {
+			cfg := v.cfg()
+			cfg.Seed = uint64(o.Seed)
+			s, err := core.New(cfg)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			for _, e := range ds.Stream {
+				s.Insert(e)
+			}
+			s.Finalize()
+			elapsed := time.Since(start)
+			var acc metrics.Accuracy
+			for _, q := range queries {
+				acc.Observe(s.EdgeWeight(q.S, q.D, q.Ts, q.Te), ds.Truth.EdgeWeight(q.S, q.D, q.Ts, q.Te))
+			}
+			st := s.Stats()
+			t.AddRow(ds.Name, v.name,
+				metrics.FormatEPS(metrics.Throughput(st.Items, elapsed)),
+				metrics.FormatBytes(st.SpaceBytes),
+				fmt.Sprint(st.Leaves),
+				metrics.FormatFloat(acc.AAE()))
+			s.Close()
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// Fig21Parameters sweeps the leaf matrix dimension d1 and prints space and
+// edge-query latency (paper Fig. 21).
+func Fig21Parameters(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Fig. 21: HIGGS parameter sweep — leaf matrix size d1 ==")
+	t := metrics.NewTable("dataset", "d1", "space", "latency(1e5)", "leaves", "layers")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		w := trq.NewWorkload(ds.Truth, o.Seed)
+		queries := w.EdgeQueries(o.EdgeQueries, midRange)
+		for _, d1 := range []uint32{4, 8, 16, 32, 64} {
+			cfg := core.DefaultConfig()
+			cfg.D1 = d1
+			cfg.Seed = uint64(o.Seed)
+			s, err := core.New(cfg)
+			if err != nil {
+				return err
+			}
+			for _, e := range ds.Stream {
+				s.Insert(e)
+			}
+			s.Finalize()
+			start := time.Now()
+			for _, q := range queries {
+				s.EdgeWeight(q.S, q.D, q.Ts, q.Te)
+			}
+			elapsed := time.Since(start)
+			st := s.Stats()
+			t.AddRow(ds.Name, fmt.Sprint(d1),
+				metrics.FormatBytes(st.SpaceBytes),
+				perOp(elapsed, len(queries)),
+				fmt.Sprint(st.Leaves), fmt.Sprint(st.Layers))
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// perOp formats elapsed/n as a per-operation latency.
+func perOp(elapsed time.Duration, n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return (elapsed / time.Duration(n)).String()
+}
+
+func log10(v int64) int {
+	n := 0
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}

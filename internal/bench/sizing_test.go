@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"higgs/internal/stream"
+)
+
+func TestZRatioMatchesPaper(t *testing.T) {
+	// Table II edge counts over Z = 2^23.
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"lkml", 0.1307},
+		{"wiki-talk", 2.978},
+		{"stackoverflow", 7.570},
+		{"anything-else", 0.596},
+	}
+	for _, c := range cases {
+		got := zRatio(c.name)
+		if got < c.want*0.99 || got > c.want*1.01 {
+			t.Errorf("zRatio(%s) = %g, want ≈%g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestScaledFBits(t *testing.T) {
+	// z = 2^23, d = 16 recovers the paper's F1 = 19.
+	if got := scaledFBits(1<<23, 16); got != 19 {
+		t.Errorf("scaledFBits(2^23, 16) = %d, want 19", got)
+	}
+	// Clamps.
+	if got := scaledFBits(1, 1024); got != 4 {
+		t.Errorf("lower clamp = %d, want 4", got)
+	}
+	if got := scaledFBits(1e18, 16); got != 19 {
+		t.Errorf("upper clamp = %d, want 19", got)
+	}
+}
+
+func TestLayerDimOverloadRegime(t *testing.T) {
+	for _, edges := range []int{1000, 50000, 220000, 5000000} {
+		d := layerDim(edges)
+		if d < 64 || d > 1024 {
+			t.Fatalf("layerDim(%d) = %d out of [64, 1024]", edges, d)
+		}
+		if d < 1024 && edges > 6*64*64 {
+			// Below the cap the matrix must stay overloaded (cells < edges),
+			// the regime DESIGN.md §4 calls for.
+			if int(d)*int(d) > edges {
+				t.Fatalf("layerDim(%d) = %d gives underloaded layers", edges, d)
+			}
+		}
+	}
+}
+
+func TestCompetitorsScaleWithDataset(t *testing.T) {
+	small, err := LoadPreset(stream.Lkml, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same dataset name, different scale: fingerprints must shrink as the
+	// stream shrinks to preserve the |E|/Z regime.
+	big, err := LoadPreset(stream.Lkml, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSmall, err := Competitors(small, 1)[0].New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig, err := Competitors(big, 1)[0].New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More edges at the same ratio ⇒ at least as many fingerprint bits ⇒
+	// at least as much space per leaf. Compare via SpaceBytes on empty
+	// structures (one leaf each after one insert).
+	sSmall.Insert(stream.Edge{S: 1, D: 2, W: 1, T: 1})
+	sBig.Insert(stream.Edge{S: 1, D: 2, W: 1, T: 1})
+	if sBig.SpaceBytes() < sSmall.SpaceBytes() {
+		t.Fatalf("bigger dataset got smaller fingerprints: %d vs %d",
+			sBig.SpaceBytes(), sSmall.SpaceBytes())
+	}
+}

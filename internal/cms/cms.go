@@ -1,0 +1,66 @@
+// Package cms implements the count-min sketch (Cormode & Muthukrishnan,
+// J. Algorithms 2004), the root of the technical lineage the paper builds
+// on (Fig. 4). It is used directly by examples and serves as the conceptual
+// substrate for TCM and PGSS.
+package cms
+
+import (
+	"fmt"
+
+	"higgs/internal/hashing"
+)
+
+// Sketch is a count-min sketch: rows × width counters with one hash
+// function per row. Point queries return the minimum hashed counter, an
+// upper bound on the true count (one-sided error ε = e/width with
+// probability 1 − e^−rows).
+type Sketch struct {
+	rows    int
+	width   uint32
+	counts  []int64 // rows × width
+	hashers []hashing.Hasher
+}
+
+// New returns a sketch with the given geometry.
+func New(rows int, width uint32, seed uint64) (*Sketch, error) {
+	if rows < 1 {
+		return nil, fmt.Errorf("cms: rows = %d, need ≥ 1", rows)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("cms: width = %d, need ≥ 1", width)
+	}
+	s := &Sketch{
+		rows:    rows,
+		width:   width,
+		counts:  make([]int64, rows*int(width)),
+		hashers: make([]hashing.Hasher, rows),
+	}
+	for i := range s.hashers {
+		s.hashers[i] = hashing.NewHasher(seed + uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return s, nil
+}
+
+// Add increments item's counters by w (use negative w to delete).
+func (s *Sketch) Add(item uint64, w int64) {
+	for i := 0; i < s.rows; i++ {
+		idx := i*int(s.width) + int(s.hashers[i].Hash(item)%uint64(s.width))
+		s.counts[idx] += w
+	}
+}
+
+// Count returns the estimated count of item: the minimum over its hashed
+// counters.
+func (s *Sketch) Count(item uint64) int64 {
+	var min int64
+	for i := 0; i < s.rows; i++ {
+		idx := i*int(s.width) + int(s.hashers[i].Hash(item)%uint64(s.width))
+		if c := s.counts[idx]; i == 0 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// SpaceBytes returns the packed size: every counter at 64 bits.
+func (s *Sketch) SpaceBytes() int64 { return int64(len(s.counts)) * 8 }

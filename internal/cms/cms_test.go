@@ -1,0 +1,69 @@
+package cms
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 100, 1); err == nil {
+		t.Error("rows=0 accepted")
+	}
+	if _, err := New(3, 0, 1); err == nil {
+		t.Error("width=0 accepted")
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	s, err := New(4, 1<<12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(42, 5)
+	s.Add(42, 3)
+	s.Add(99, 1)
+	if got := s.Count(42); got != 8 {
+		t.Errorf("Count(42) = %d, want 8", got)
+	}
+	if got := s.Count(99); got != 1 {
+		t.Errorf("Count(99) = %d, want 1", got)
+	}
+	if got := s.Count(7); got != 0 {
+		t.Errorf("Count(absent) = %d, want 0", got)
+	}
+}
+
+func TestOneSided(t *testing.T) {
+	s, err := New(3, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	truth := map[uint64]int64{}
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(1000))
+		s.Add(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := s.Count(k); got < want {
+			t.Fatalf("Count(%d) = %d < truth %d", k, got, want)
+		}
+	}
+}
+
+func TestDeleteByNegativeAdd(t *testing.T) {
+	s, _ := New(2, 64, 1)
+	s.Add(5, 10)
+	s.Add(5, -4)
+	if got := s.Count(5); got != 6 {
+		t.Errorf("after delete = %d, want 6", got)
+	}
+}
+
+func TestSpaceBytes(t *testing.T) {
+	s, _ := New(3, 128, 1)
+	if got := s.SpaceBytes(); got != 3*128*8 {
+		t.Errorf("SpaceBytes = %d", got)
+	}
+}

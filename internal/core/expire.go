@@ -1,0 +1,77 @@
+package core
+
+// Expire drops every subtree whose entire time range lies before the
+// cutoff and returns the number of leaves reclaimed. This turns a HIGGS
+// summary into a sliding-window summary (the windowed operation mode the
+// paper's related work addresses with hopping sketches): periodically
+// expiring `now − W` keeps memory proportional to the live window while
+// all queries inside the window remain untouched — range decomposition
+// never descends into dropped subtrees, and surviving aggregates are only
+// consulted for ranges they still fully serve.
+//
+// Nodes straddling the cutoff are kept whole (their leaves still hold live
+// entries); their sealed aggregates may retain weight from expired
+// siblings' timestamps, which is only reachable by queries that themselves
+// reach before the cutoff. Callers enforcing a strict window should query
+// within [cutoff, now], where results are unaffected.
+//
+// Expire must not run concurrently with inserts or queries.
+func (s *Summary) Expire(cutoff int64) (leavesDropped int) {
+	if s.root == nil {
+		return 0
+	}
+	dropped := s.expireNode(s.root, cutoff)
+	// The root may have degenerated to a single-child chain; keep the
+	// structure as-is (filler chains are normal in HIGGS) but make sure
+	// the spine still points at live nodes.
+	if !s.finalized {
+		s.rebuildSpine()
+	}
+	s.leaves -= dropped
+	return dropped
+}
+
+// expireNode removes fully expired children of n recursively and returns
+// the number of leaves dropped. n itself is never dropped (the caller owns
+// that decision; the root always survives).
+func (s *Summary) expireNode(n *node, cutoff int64) int {
+	if n.level == 1 {
+		return 0
+	}
+	dropped := 0
+	keep := n.children[:0]
+	for _, c := range n.children {
+		// Only closed nodes can be fully expired; the open spine is the
+		// newest data by construction.
+		if c.closed && c.lastT < cutoff {
+			dropped += countLeaves(c)
+			continue
+		}
+		if c.firstT < cutoff {
+			dropped += s.expireNode(c, cutoff)
+		}
+		keep = append(keep, c)
+	}
+	// Never leave a non-leaf childless: retain the youngest child even if
+	// expired, so the tree stays navigable.
+	if len(keep) == 0 {
+		keep = append(keep, n.children[len(n.children)-1])
+		dropped -= countLeaves(keep[0])
+	}
+	n.children = keep
+	if n.firstT < cutoff {
+		n.firstT = keep[0].firstT
+	}
+	return dropped
+}
+
+func countLeaves(n *node) int {
+	if n.level == 1 {
+		return 1
+	}
+	total := 0
+	for _, c := range n.children {
+		total += countLeaves(c)
+	}
+	return total
+}

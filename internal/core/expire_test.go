@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"higgs/internal/exact"
+	"higgs/internal/stream"
+)
+
+func TestExpireDropsOldLeaves(t *testing.T) {
+	s := MustNew(smallConfig())
+	st := denseStream(6000, 80, 60000, 41)
+	truth := exact.FromStream(st)
+	for _, e := range st {
+		s.Insert(e)
+	}
+	before := s.Stats()
+	dropped := s.Expire(30000)
+	if dropped <= 0 {
+		t.Fatal("nothing expired")
+	}
+	after := s.Stats()
+	if after.Leaves != before.Leaves-dropped {
+		t.Fatalf("leaf accounting: %d - %d != %d", before.Leaves, dropped, after.Leaves)
+	}
+	if after.SpaceBytes >= before.SpaceBytes {
+		t.Fatal("expiry did not reclaim space")
+	}
+	// Queries inside the live window are unaffected (still ≥ truth, and
+	// with these fingerprints exact).
+	for v := uint64(0); v < 80; v++ {
+		got, want := s.VertexOut(v, 30000, 60000), truth.VertexOut(v, 30000, 60000)
+		if got < want {
+			t.Fatalf("live-window out(%d): %d < %d", v, got, want)
+		}
+	}
+	// And the summary keeps accepting new items afterwards.
+	lastT := st[len(st)-1].T
+	s.Insert(e(1, 2, 1, lastT+10))
+	if got := s.EdgeWeight(1, 2, lastT+1, lastT+100); got < 1 {
+		t.Fatalf("insert after expire lost: %d", got)
+	}
+}
+
+func TestExpireSlidingWindowLoop(t *testing.T) {
+	// Continuously insert and expire a fixed window; memory must plateau.
+	s := MustNew(smallConfig())
+	const window = 5000
+	maxLeaves := 0
+	for i := 0; i < 40000; i++ {
+		ts := int64(i)
+		s.Insert(e(uint64(i%50), uint64(i%37), 1, ts))
+		if i%2000 == 1999 {
+			s.Expire(ts - window)
+			if l := s.Leaves(); l > maxLeaves {
+				maxLeaves = l
+			}
+		}
+	}
+	// Leaves needed for a 5000-item window at these matrix sizes is far
+	// below the ~2500+ leaves the full stream would need.
+	finalLeaves := s.Leaves()
+	if finalLeaves > 900 {
+		t.Fatalf("window did not bound leaves: %d", finalLeaves)
+	}
+	// Live-window queries still answer.
+	if got := s.VertexOut(1, 35000, 40000); got <= 0 {
+		t.Fatalf("live window empty: %d", got)
+	}
+}
+
+func TestExpireEverything(t *testing.T) {
+	s := MustNew(smallConfig())
+	for _, ed := range denseStream(2000, 40, 20000, 42) {
+		s.Insert(ed)
+	}
+	s.Expire(1 << 40) // cutoff far past the stream
+	if s.Leaves() < 1 {
+		t.Fatalf("tree lost its last leaf: %d", s.Leaves())
+	}
+	// Still insertable.
+	s.Insert(e(1, 2, 1, 1<<41))
+	if got := s.EdgeWeight(1, 2, 1<<40, 1<<42); got < 1 {
+		t.Fatalf("insert after full expiry lost: %d", got)
+	}
+}
+
+func TestExpireEmptyAndNoop(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	if s.Expire(100) != 0 {
+		t.Fatal("expire on empty summary dropped leaves")
+	}
+	for _, ed := range paperStream() {
+		s.Insert(ed)
+	}
+	if got := s.Expire(0); got != 0 {
+		t.Fatalf("cutoff before stream dropped %d leaves", got)
+	}
+	if got := s.EdgeWeight(2, 3, 5, 10); got != 3 {
+		t.Fatalf("noop expire changed answers: %d", got)
+	}
+}
+
+func TestExpireAfterFinalize(t *testing.T) {
+	s := MustNew(smallConfig())
+	st := denseStream(3000, 50, 30000, 43)
+	for _, ed := range st {
+		s.Insert(ed)
+	}
+	s.Finalize()
+	if dropped := s.Expire(15000); dropped <= 0 {
+		t.Fatal("finalized summary did not expire")
+	}
+	truth := exact.FromStream(st)
+	for v := uint64(0); v < 50; v++ {
+		got, want := s.VertexOut(v, 15000, 30000), truth.VertexOut(v, 15000, 30000)
+		if got < want {
+			t.Fatalf("post-finalize live window out(%d): %d < %d", v, got, want)
+		}
+	}
+}
+
+// e is a tiny edge constructor for expire tests.
+func e(s, d uint64, w, t int64) stream.Edge {
+	return stream.Edge{S: s, D: d, W: w, T: t}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"higgs/internal/hashing"
+	"higgs/internal/matrix"
+	"higgs/internal/stream"
+)
+
+// Summary is a HIGGS graph stream summary.
+//
+// Insert requires timestamps to be non-decreasing (graph streams arrive in
+// time order); out-of-order items are clamped to the newest timestamp and
+// counted in Stats().Clamped. A Summary is not safe for concurrent use by
+// multiple goroutines, with one exception: when Config.Parallel is set, the
+// internal aggregation workers run concurrently with insertions, and
+// queries may run concurrently with each other once insertion has finished.
+type Summary struct {
+	cfg Config
+	rb  uint // R: fingerprint bits promoted per level
+	h   hashing.Hasher
+
+	root      *node
+	spine     []*node // open path; spine[i] has level i+1, spine[0] = active leaf
+	lastT     int64
+	items     int64
+	clamped   int64
+	rejected  int64 // inserts after Finalize
+	leaves    int
+	obCount   int
+	finalized bool
+
+	workers *sealWorkers
+}
+
+// New returns an empty HIGGS summary for the given configuration.
+func New(cfg Config) (*Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Summary{cfg: cfg, rb: cfg.rbits(), h: hashing.NewHasher(cfg.Seed)}
+	if cfg.Parallel {
+		s.workers = newSealWorkers(s)
+	}
+	return s, nil
+}
+
+// MustNew is New for configurations known to be valid; it panics otherwise.
+func MustNew(cfg Config) *Summary {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the summary's configuration.
+func (s *Summary) Config() Config { return s.cfg }
+
+// Name identifies the structure in benchmark output.
+func (s *Summary) Name() string { return "HIGGS" }
+
+// leafCfg returns the matrix configuration of leaf matrices.
+func (s *Summary) leafCfg() matrix.Config {
+	return matrix.Config{D: s.cfg.D1, B: s.cfg.B, Maps: s.cfg.Maps, FBits: s.cfg.F1, Timed: true}
+}
+
+// newLeaf allocates a leaf node anchored at time t.
+func (s *Summary) newLeaf(t int64) *node {
+	m, err := matrix.New(s.leafCfg(), t)
+	if err != nil {
+		panic(fmt.Sprintf("core: leaf config invalid: %v", err)) // validated in New
+	}
+	s.leaves++
+	return &node{level: 1, firstT: t, lastT: t, mat: m}
+}
+
+// split computes the fingerprint/address pair of a hash at the geometry of
+// matrix m (paper Eq. 1 at the matrix's level).
+func split(h uint64, m *matrix.Matrix) (fp, base uint32) {
+	c := m.Cfg()
+	return hashing.Split(h, c.FBits, c.D)
+}
+
+// Insert adds one stream item (paper Algorithm 1). Items arriving after
+// Finalize are dropped and counted.
+func (s *Summary) Insert(e stream.Edge) {
+	if s.finalized {
+		s.rejected++
+		return
+	}
+	if s.root == nil {
+		leaf := s.newLeaf(e.T)
+		s.root = leaf
+		s.spine = []*node{leaf}
+		s.lastT = e.T
+	}
+	if e.T < s.lastT {
+		s.clamped++
+		e.T = s.lastT
+	}
+	s.lastT = e.T
+	leaf := s.spine[0]
+	hs, hd := s.h.Hash(e.S), s.h.Hash(e.D)
+	fpS, baseS := split(hs, leaf.mat)
+	fpD, baseD := split(hd, leaf.mat)
+
+	off := e.T - leaf.mat.StartT()
+	if off <= matrix.MaxOffset() && leaf.mat.Add(fpS, baseS, fpD, baseD, uint32(off), e.W) {
+		leaf.lastT = e.T
+		s.items++
+		return
+	}
+
+	// Leaf matrix rejected the edge. Overflow block if the timestamp
+	// matches the previous item's (paper §IV-C), otherwise open a new leaf
+	// and propagate the timestamp upward.
+	if s.cfg.OverflowBlocks && e.T == leaf.lastT && off <= matrix.MaxOffset() {
+		if n := len(leaf.obs); n > 0 {
+			ob := leaf.obs[n-1]
+			if ob.Add(fpS, baseS, fpD, baseD, uint32(e.T-ob.StartT()), e.W) {
+				s.items++
+				return
+			}
+		}
+		obCfg := s.leafCfg()
+		obCfg.B = s.cfg.OBBucket
+		ob, err := matrix.New(obCfg, e.T)
+		if err != nil {
+			panic(fmt.Sprintf("core: overflow block config invalid: %v", err))
+		}
+		ob.Add(fpS, baseS, fpD, baseD, 0, e.W) // empty matrix: cannot fail
+		leaf.obs = append(leaf.obs, ob)
+		s.obCount++
+		s.items++
+		return
+	}
+
+	leaf.closed = true
+	nl := s.newLeaf(e.T)
+	nl.mat.Add(fpS, baseS, fpD, baseD, 0, e.W) // empty matrix: cannot fail
+	s.attach(nl)
+	s.items++
+}
+
+// attach links a freshly opened node (a new leaf or a filler wrapping one)
+// into the open spine, sealing full ancestors and growing the root as
+// needed — the upward timestamp transmission of Algorithm 1.
+func (s *Summary) attach(child *node) {
+	for {
+		parentIdx := child.level // spine[i] has level i+1
+		if parentIdx >= len(s.spine) {
+			// The root itself is full: grow the tree by one level.
+			oldRoot := s.root
+			newRoot := &node{
+				level:    child.level + 1,
+				firstT:   oldRoot.firstT,
+				children: []*node{oldRoot, child},
+			}
+			s.spine = append(s.spine, newRoot)
+			s.root = newRoot
+			s.setSpineBelow(child)
+			return
+		}
+		parent := s.spine[parentIdx]
+		if len(parent.children) < s.cfg.Theta {
+			parent.children = append(parent.children, child)
+			s.setSpineBelow(child)
+			return
+		}
+		// Parent is full: close and seal it, then wrap the child in a
+		// filler node (keeps all leaves on the bottom layer) and continue
+		// one level up.
+		s.closeAndSeal(parent)
+		filler := &node{level: parent.level, firstT: child.firstT, children: []*node{child}}
+		s.spine[parentIdx] = filler
+		child = filler
+	}
+}
+
+// setSpineBelow repoints the open spine at and below child's level to the
+// rightmost path of child's subtree.
+func (s *Summary) setSpineBelow(child *node) {
+	n := child
+	for {
+		s.spine[n.level-1] = n
+		if n.level == 1 {
+			return
+		}
+		n = n.children[len(n.children)-1]
+	}
+}
+
+// closeAndSeal freezes a full non-leaf node and triggers its aggregation,
+// inline or on the level worker depending on Config.Parallel.
+func (s *Summary) closeAndSeal(n *node) {
+	n.closed = true
+	n.lastT = n.children[len(n.children)-1].lastT
+	if s.workers != nil {
+		s.workers.schedule(n)
+		return
+	}
+	s.sealNow(n)
+}
+
+// Finalize marks the end of the stream: every node on the open spine is
+// closed and all pending aggregates are built, so space accounting and
+// whole-range queries see the complete l-layer structure. Further inserts
+// are dropped (counted in Stats().Rejected). Finalize is idempotent.
+func (s *Summary) Finalize() {
+	if s.finalized {
+		return
+	}
+	s.finalized = true
+	for _, n := range s.spine {
+		n.closed = true
+		if n.level == 1 {
+			continue
+		}
+		n.lastT = n.children[len(n.children)-1].lastT
+	}
+	if s.workers != nil {
+		s.workers.drain()
+	}
+	var sealAll func(n *node)
+	sealAll = func(n *node) {
+		if n.level == 1 {
+			return
+		}
+		for _, c := range n.children {
+			sealAll(c)
+		}
+		s.sealNow(n)
+	}
+	if s.root != nil {
+		sealAll(s.root)
+	}
+}
+
+// Close releases the parallel aggregation workers (no-op otherwise). The
+// summary remains queryable.
+func (s *Summary) Close() {
+	if s.workers != nil {
+		s.workers.stop()
+	}
+}

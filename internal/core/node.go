@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"higgs/internal/matrix"
+)
+
+// node is one HIGGS tree node. Leaves (level 1) own a timed compressed
+// matrix filled directly from the stream, plus optional overflow blocks.
+// Non-leaf nodes own an untimed aggregate matrix built when the node seals.
+//
+// Mutation happens only on the insertion path; once a node is closed its
+// subtree is immutable except for the one-shot aggregation guarded by
+// sealOnce (safe to race between queries and the parallel seal worker) and
+// for deletions, which the caller must not run concurrently with queries.
+type node struct {
+	level    int   // 1 = leaf
+	firstT   int64 // earliest timestamp in the subtree
+	lastT    int64 // latest timestamp; valid once closed
+	closed   bool  // no further edges will enter this subtree
+	children []*node
+	mat      *matrix.Matrix   // leaf: from construction; non-leaf: after seal
+	obs      []*matrix.Matrix // leaf overflow blocks
+	sealOnce sync.Once
+}
+
+// last returns the node's effective latest timestamp: frozen once closed,
+// the stream's current time while still open.
+func (n *node) last(streamLast int64) int64 {
+	if n.closed {
+		return n.lastT
+	}
+	return streamLast
+}
+
+// sealNow builds the aggregate matrix of a non-leaf node exactly once. It
+// recursively forces children first, so it is safe to call in any order
+// (the parallel workers and queries may race; sync.Once arbitrates).
+func (s *Summary) sealNow(n *node) {
+	if n.level == 1 {
+		return
+	}
+	n.sealOnce.Do(func() { s.buildAggregate(n) })
+}
+
+// buildAggregate implements paper Algorithm 2: allocate a √θ·d × √θ·d
+// matrix one level up, shift R fingerprint bits into the addresses of every
+// child entry, and merge. Overflow-block matrices of leaf children are
+// absorbed alongside the main leaf matrices. Entries that cannot be placed
+// go to the parent matrix's spill list with full fidelity (DESIGN.md §3.4).
+func (s *Summary) buildAggregate(n *node) {
+	for _, c := range n.children {
+		if c.level > 1 {
+			s.sealNow(c)
+		}
+	}
+	ccfg := n.children[0].mat.Cfg()
+	rb := s.rb
+	// Fingerprints cannot shrink below one bit; once exhausted the matrix
+	// stops growing and relies on the spill list.
+	if ccfg.FBits <= rb {
+		rb = ccfg.FBits - 1
+	}
+	pcfg := matrix.Config{
+		D:     ccfg.D << rb,
+		B:     s.cfg.B,
+		Maps:  s.cfg.Maps,
+		FBits: ccfg.FBits - rb,
+	}
+	m, err := matrix.New(pcfg, 0)
+	if err != nil {
+		// pcfg derives from a validated Config; failure is a programming
+		// error in this package, not a caller mistake.
+		panic(fmt.Sprintf("core: internal aggregate config invalid: %v", err))
+	}
+	for _, c := range n.children {
+		if err := m.Absorb(c.mat); err != nil {
+			panic(fmt.Sprintf("core: absorb: %v", err))
+		}
+		for _, ob := range c.obs {
+			if err := m.Absorb(ob); err != nil {
+				panic(fmt.Sprintf("core: absorb overflow block: %v", err))
+			}
+		}
+	}
+	n.mat = m
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"higgs/internal/stream"
+)
+
+// TestRangeAdditivityProperty is the deepest consequence of the paper's
+// no-additional-error aggregation (§IV-B): because a level-l matrix
+// compares exactly the same hash bits as the leaves (the address/
+// fingerprint split shifts, their union is invariant), the answer
+// assembled from coarse aggregates must equal the answer assembled from
+// fine leaf scans. Hence for any split point m,
+//
+//	EdgeWeight(a, b) == EdgeWeight(a, m) + EdgeWeight(m+1, b)
+//
+// exactly — not just within one-sided error. The same holds for vertex
+// queries.
+func TestRangeAdditivityProperty(t *testing.T) {
+	st := denseStream(6000, 90, 60000, 31)
+	s := MustNew(smallConfig())
+	for _, e := range st {
+		s.Insert(e)
+	}
+	s.Finalize()
+	f := func(a, b, m uint16, sv, dv uint8) bool {
+		lo, hi := int64(a)%60000, int64(b)%60000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mid := lo + int64(m)%(hi-lo+1)
+		src, dst := uint64(sv)%90, uint64(dv)%90
+		whole := s.EdgeWeight(src, dst, lo, hi)
+		parts := s.EdgeWeight(src, dst, lo, mid) + s.EdgeWeight(src, dst, mid+1, hi)
+		if whole != parts {
+			t.Logf("edge (%d,%d) [%d,%d] split at %d: whole %d != parts %d",
+				src, dst, lo, hi, mid, whole, parts)
+			return false
+		}
+		vWhole := s.VertexOut(src, lo, hi)
+		vParts := s.VertexOut(src, lo, mid) + s.VertexOut(src, mid+1, hi)
+		if vWhole != vParts {
+			t.Logf("out(%d) [%d,%d] split at %d: whole %d != parts %d",
+				src, lo, hi, mid, vWhole, vParts)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRangeMonotonicityProperty: enlarging the window can only grow the
+// estimate (every entry counted in the sub-window is counted in the
+// super-window).
+func TestRangeMonotonicityProperty(t *testing.T) {
+	st := denseStream(5000, 70, 50000, 32)
+	s := MustNew(smallConfig())
+	for _, e := range st {
+		s.Insert(e)
+	}
+	f := func(a, b, grow uint16, sv, dv uint8) bool {
+		lo, hi := int64(a)%50000, int64(b)%50000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		glo := lo - int64(grow)%1000
+		ghi := hi + int64(grow)%1000
+		src, dst := uint64(sv)%70, uint64(dv)%70
+		if s.EdgeWeight(src, dst, lo, hi) > s.EdgeWeight(src, dst, glo, ghi) {
+			return false
+		}
+		if s.VertexOut(src, lo, hi) > s.VertexOut(src, glo, ghi) {
+			return false
+		}
+		if s.VertexIn(dst, lo, hi) > s.VertexIn(dst, glo, ghi) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTotalWeightConservation: the whole-lifetime vertex-out weights summed
+// over all sources must be at least the stream's total weight — and with
+// wide fingerprints, exactly equal.
+func TestTotalWeightConservation(t *testing.T) {
+	st := denseStream(8000, 100, 80000, 33)
+	s := MustNew(DefaultConfig())
+	var want int64
+	for _, e := range st {
+		s.Insert(e)
+		want += e.W
+	}
+	s.Finalize()
+	var total int64
+	for v := uint64(0); v < 100; v++ {
+		total += s.VertexOut(v, 0, 80000)
+	}
+	if total != want {
+		t.Fatalf("total out-weight %d, want exactly %d (wide fingerprints)", total, want)
+	}
+	var inTotal int64
+	for v := uint64(0); v < 100; v++ {
+		inTotal += s.VertexIn(v, 0, 80000)
+	}
+	if inTotal != want {
+		t.Fatalf("total in-weight %d, want exactly %d", inTotal, want)
+	}
+}
+
+// TestDeleteInverseProperty: inserting a batch then deleting it restores
+// every query to its pre-batch value.
+func TestDeleteInverseProperty(t *testing.T) {
+	base := denseStream(3000, 50, 30000, 34)
+	s := MustNew(DefaultConfig())
+	for _, e := range base {
+		s.Insert(e)
+	}
+	// Snapshot pre-batch answers.
+	type qkey struct{ s, d uint64 }
+	pre := map[qkey]int64{}
+	for i := uint64(0); i < 50; i++ {
+		for j := uint64(0); j < 50; j += 7 {
+			pre[qkey{i, j}] = s.EdgeWeight(i, j, 0, 40000)
+		}
+	}
+	rng := rand.New(rand.NewSource(35))
+	var batch []stream.Edge
+	for i := 0; i < 500; i++ {
+		batch = append(batch, stream.Edge{
+			S: uint64(rng.Intn(50)), D: uint64(rng.Intn(50)),
+			W: int64(rng.Intn(3) + 1), T: 30000 + int64(i),
+		})
+	}
+	for _, e := range batch {
+		s.Insert(e)
+	}
+	for _, e := range batch {
+		if !s.Delete(e) {
+			t.Fatalf("delete of batch item %+v failed", e)
+		}
+	}
+	for k, want := range pre {
+		if got := s.EdgeWeight(k.s, k.d, 0, 40000); got != want {
+			t.Fatalf("edge (%d,%d): %d after insert+delete, want %d", k.s, k.d, got, want)
+		}
+	}
+}
+
+// TestQueriesOutsideLifetime: windows before, after, and straddling the
+// stream behave sensibly.
+func TestQueriesOutsideLifetime(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	for _, e := range paperStream() {
+		s.Insert(e)
+	}
+	if got := s.EdgeWeight(2, 3, -100, 0); got != 0 {
+		t.Errorf("window before stream = %d", got)
+	}
+	if got := s.EdgeWeight(2, 3, 100, 2000); got != 0 {
+		t.Errorf("window after stream = %d", got)
+	}
+	if got := s.EdgeWeight(2, 3, -100, 2000); got != 4 {
+		t.Errorf("straddling window = %d, want 4", got)
+	}
+	if got := s.VertexOut(2, -5, 1); got != 1 {
+		t.Errorf("partial head window = %d, want 1", got)
+	}
+}
+
+// TestThetaSixteen exercises R=2 aggregation (θ=16): addresses grow two
+// bits per level and sixteen children seal at once.
+func TestThetaSixteen(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Theta = 16
+	cfg.D1 = 4
+	cfg.B = 1
+	cfg.Maps = 2
+	s := MustNew(cfg)
+	st := denseStream(6000, 80, 60000, 36)
+	for _, e := range st {
+		s.Insert(e)
+	}
+	s.Finalize()
+	if s.Layers() < 2 {
+		t.Fatalf("θ=16 tree did not grow: %d layers", s.Layers())
+	}
+	// Aggregation consistency under R=2.
+	first, last := st[0].T, st[len(st)-1].T
+	leafPath := MustNew(cfg)
+	for _, e := range st {
+		leafPath.Insert(e)
+	}
+	for v := uint64(0); v < 80; v += 3 {
+		if a, b := s.VertexOut(v, first, last), leafPath.VertexOut(v, first, last); a != b {
+			t.Fatalf("θ=16 out(%d): sealed %d vs open %d", v, a, b)
+		}
+	}
+}
+
+// TestManyLeavesDeepTree pushes a deep hierarchy and validates full-range
+// queries against the exact total.
+func TestManyLeavesDeepTree(t *testing.T) {
+	cfg := Config{D1: 2, F1: 19, B: 1, Theta: 4, Maps: 1, OverflowBlocks: true, OBBucket: 1}
+	s := MustNew(cfg)
+	var want int64
+	const n = 20000
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < n; i++ {
+		w := int64(rng.Intn(3) + 1)
+		s.Insert(stream.Edge{S: uint64(i % 37), D: uint64(i % 41), W: w, T: int64(i)})
+		want += w
+	}
+	s.Finalize()
+	if s.Layers() < 5 {
+		t.Fatalf("tree too shallow: %d layers over %d leaves", s.Layers(), s.Leaves())
+	}
+	var got int64
+	for v := uint64(0); v < 37; v++ {
+		got += s.VertexOut(v, 0, n)
+	}
+	if got < want {
+		t.Fatalf("deep tree lost weight: %d < %d", got, want)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+
+	"higgs/internal/matrix"
+)
+
+// visitFn receives one matrix of the range decomposition together with the
+// offset window queries must apply ([MinInt64, MaxInt64] when the matrix is
+// fully covered, so no per-entry timestamp checks are needed).
+type visitFn func(m *matrix.Matrix, loOff, hiOff int64)
+
+// collect performs the boundary search (paper Algorithm 3) as a recursive
+// range decomposition over the tree: a closed node fully inside [ts, te]
+// contributes its aggregate matrix; partially covered or still-open nodes
+// recurse into children; leaves contribute their matrices (and overflow
+// blocks) with an entry-level offset filter at the range fringes.
+func (s *Summary) collect(n *node, ts, te int64, visit visitFn) {
+	last := n.last(s.lastT)
+	if n.firstT > te || last < ts {
+		return
+	}
+	if n.level > 1 {
+		if ts <= n.firstT && last <= te && n.closed {
+			s.sealNow(n)
+			visit(n.mat, math.MinInt64, math.MaxInt64)
+			return
+		}
+		for _, c := range n.children {
+			s.collect(c, ts, te, visit)
+		}
+		return
+	}
+	// Leaf: fully covered leaves skip timestamp checks too.
+	if ts <= n.firstT && last <= te {
+		visit(n.mat, math.MinInt64, math.MaxInt64)
+		for _, ob := range n.obs {
+			visit(ob, math.MinInt64, math.MaxInt64)
+		}
+		return
+	}
+	visit(n.mat, ts-n.mat.StartT(), te-n.mat.StartT())
+	for _, ob := range n.obs {
+		visit(ob, ts-ob.StartT(), te-ob.StartT())
+	}
+}
+
+// EdgeWeight returns the estimated aggregated weight of edge (sv → dv)
+// within [ts, te] (TRQ edge-query primitive, paper Def. 2). The estimate
+// never undercounts the true weight (one-sided error, paper §V-D).
+func (s *Summary) EdgeWeight(sv, dv uint64, ts, te int64) int64 {
+	if s.root == nil || ts > te {
+		return 0
+	}
+	hs, hd := s.h.Hash(sv), s.h.Hash(dv)
+	var sum int64
+	s.collect(s.root, ts, te, func(m *matrix.Matrix, lo, hi int64) {
+		fpS, baseS := split(hs, m)
+		fpD, baseD := split(hd, m)
+		sum += m.EdgeSum(fpS, baseS, fpD, baseD, lo, hi)
+	})
+	return sum
+}
+
+// VertexOut returns the estimated aggregated weight of v's outgoing edges
+// within [ts, te] (TRQ vertex-query primitive).
+func (s *Summary) VertexOut(v uint64, ts, te int64) int64 {
+	if s.root == nil || ts > te {
+		return 0
+	}
+	hv := s.h.Hash(v)
+	var sum int64
+	s.collect(s.root, ts, te, func(m *matrix.Matrix, lo, hi int64) {
+		fp, base := split(hv, m)
+		sum += m.RowSum(fp, base, lo, hi)
+	})
+	return sum
+}
+
+// VertexIn returns the estimated aggregated weight of v's incoming edges
+// within [ts, te].
+func (s *Summary) VertexIn(v uint64, ts, te int64) int64 {
+	if s.root == nil || ts > te {
+		return 0
+	}
+	hv := s.h.Hash(v)
+	var sum int64
+	s.collect(s.root, ts, te, func(m *matrix.Matrix, lo, hi int64) {
+		fp, base := split(hv, m)
+		sum += m.ColSum(fp, base, lo, hi)
+	})
+	return sum
+}
+
+// PathWeight returns the estimated sum of edge weights along the vertex
+// path within [ts, te], the aggregation the paper uses for path queries.
+func (s *Summary) PathWeight(path []uint64, ts, te int64) int64 {
+	var sum int64
+	for i := 0; i+1 < len(path); i++ {
+		sum += s.EdgeWeight(path[i], path[i+1], ts, te)
+	}
+	return sum
+}
+
+// SubgraphWeight returns the estimated total weight of the given edge set
+// within [ts, te].
+func (s *Summary) SubgraphWeight(edges [][2]uint64, ts, te int64) int64 {
+	var sum int64
+	for _, e := range edges {
+		sum += s.EdgeWeight(e[0], e[1], ts, te)
+	}
+	return sum
+}
+
+// RangeMatrixCount returns the number of matrices the boundary search
+// touches for [ts, te]; the paper bounds it by 2(θ−1)·log_θ(Lq/L′). It is
+// exported for tests and the latency analysis.
+func (s *Summary) RangeMatrixCount(ts, te int64) int {
+	if s.root == nil || ts > te {
+		return 0
+	}
+	count := 0
+	s.collect(s.root, ts, te, func(*matrix.Matrix, int64, int64) { count++ })
+	return count
+}

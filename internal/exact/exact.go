@@ -1,0 +1,218 @@
+// Package exact implements a ground-truth temporal graph store. It answers
+// every TRQ primitive exactly and is used by tests and by the benchmark
+// harness to compute the paper's accuracy metrics (AAE / ARE, Eq. 17)
+// against each approximate summary.
+//
+// The store indexes edges by (s,d) pair and by source / destination vertex,
+// each as a time-sorted list with prefix sums, so a temporal range query is
+// two binary searches.
+package exact
+
+import (
+	"sort"
+
+	"higgs/internal/stream"
+)
+
+// event is one insertion at time t; cum is the running weight total of its
+// series up to and including this event.
+type event struct {
+	t   int64
+	cum int64
+}
+
+// series is an append-only, time-ordered list of events with prefix sums.
+type series struct {
+	events []event
+}
+
+func (s *series) add(t int64, w int64) {
+	last := int64(0)
+	if n := len(s.events); n > 0 {
+		last = s.events[n-1].cum
+		if s.events[n-1].t > t {
+			// Out-of-order insert: locate position and rebuild suffix sums.
+			i := sort.Search(n, func(i int) bool { return s.events[i].t > t })
+			s.events = append(s.events, event{})
+			copy(s.events[i+1:], s.events[i:])
+			prev := int64(0)
+			if i > 0 {
+				prev = s.events[i-1].cum
+			}
+			s.events[i] = event{t: t, cum: prev + w}
+			for j := i + 1; j < len(s.events); j++ {
+				s.events[j].cum += w
+			}
+			return
+		}
+	}
+	s.events = append(s.events, event{t: t, cum: last + w})
+}
+
+// rangeSum returns the total weight of events with ts ≤ t ≤ te.
+func (s *series) rangeSum(ts, te int64) int64 {
+	if len(s.events) == 0 || ts > te {
+		return 0
+	}
+	hi := sort.Search(len(s.events), func(i int) bool { return s.events[i].t > te })
+	lo := sort.Search(len(s.events), func(i int) bool { return s.events[i].t >= ts })
+	var a, b int64
+	if hi > 0 {
+		b = s.events[hi-1].cum
+	}
+	if lo > 0 {
+		a = s.events[lo-1].cum
+	}
+	return b - a
+}
+
+type edgeKey struct{ s, d uint64 }
+
+// Store is the exact temporal graph store. The zero value is empty and
+// ready to use; Insert and the query methods are not safe for concurrent
+// mutation.
+type Store struct {
+	edges map[edgeKey]*series
+	out   map[uint64]*series
+	in    map[uint64]*series
+	adj   map[uint64][]uint64 // distinct out-neighbours, insertion order
+	n     int
+	first int64
+	last  int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		edges: make(map[edgeKey]*series),
+		out:   make(map[uint64]*series),
+		in:    make(map[uint64]*series),
+		adj:   make(map[uint64][]uint64),
+	}
+}
+
+// FromStream builds a store holding every edge of s.
+func FromStream(s stream.Stream) *Store {
+	st := New()
+	for _, e := range s {
+		st.Insert(e)
+	}
+	return st
+}
+
+// Insert records one stream item.
+func (st *Store) Insert(e stream.Edge) {
+	k := edgeKey{e.S, e.D}
+	se := st.edges[k]
+	if se == nil {
+		se = &series{}
+		st.edges[k] = se
+		st.adj[e.S] = append(st.adj[e.S], e.D)
+	}
+	se.add(e.T, e.W)
+	so := st.out[e.S]
+	if so == nil {
+		so = &series{}
+		st.out[e.S] = so
+	}
+	so.add(e.T, e.W)
+	si := st.in[e.D]
+	if si == nil {
+		si = &series{}
+		st.in[e.D] = si
+	}
+	si.add(e.T, e.W)
+	if st.n == 0 || e.T < st.first {
+		st.first = e.T
+	}
+	if st.n == 0 || e.T > st.last {
+		st.last = e.T
+	}
+	st.n++
+}
+
+// Delete removes weight w of edge (s,d) at time t; it is implemented as the
+// insertion of a compensating negative weight, mirroring sketch deletion.
+func (st *Store) Delete(e stream.Edge) {
+	e.W = -e.W
+	st.Insert(e)
+}
+
+// Len returns the number of inserted items.
+func (st *Store) Len() int { return st.n }
+
+// Span returns the earliest and latest inserted timestamps.
+func (st *Store) Span() (first, last int64) { return st.first, st.last }
+
+// EdgeWeight returns the exact aggregated weight of edge (s,d) in [ts, te].
+func (st *Store) EdgeWeight(s, d uint64, ts, te int64) int64 {
+	se := st.edges[edgeKey{s, d}]
+	if se == nil {
+		return 0
+	}
+	return se.rangeSum(ts, te)
+}
+
+// VertexOut returns the exact aggregated weight of v's outgoing edges in
+// [ts, te].
+func (st *Store) VertexOut(v uint64, ts, te int64) int64 {
+	se := st.out[v]
+	if se == nil {
+		return 0
+	}
+	return se.rangeSum(ts, te)
+}
+
+// VertexIn returns the exact aggregated weight of v's incoming edges in
+// [ts, te].
+func (st *Store) VertexIn(v uint64, ts, te int64) int64 {
+	se := st.in[v]
+	if se == nil {
+		return 0
+	}
+	return se.rangeSum(ts, te)
+}
+
+// PathWeight returns the exact sum of edge weights along the vertex path in
+// [ts, te] (the aggregation the paper uses for path queries).
+func (st *Store) PathWeight(path []uint64, ts, te int64) int64 {
+	var sum int64
+	for i := 0; i+1 < len(path); i++ {
+		sum += st.EdgeWeight(path[i], path[i+1], ts, te)
+	}
+	return sum
+}
+
+// SubgraphWeight returns the exact sum of edge weights over the given edge
+// set in [ts, te].
+func (st *Store) SubgraphWeight(edges [][2]uint64, ts, te int64) int64 {
+	var sum int64
+	for _, e := range edges {
+		sum += st.EdgeWeight(e[0], e[1], ts, te)
+	}
+	return sum
+}
+
+// Vertices returns all vertices with at least one outgoing edge, in
+// unspecified order. It is used by workload generators.
+func (st *Store) Vertices() []uint64 {
+	vs := make([]uint64, 0, len(st.out))
+	for v := range st.out {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// Edges returns all distinct (s,d) pairs, in unspecified order.
+func (st *Store) Edges() [][2]uint64 {
+	es := make([][2]uint64, 0, len(st.edges))
+	for k := range st.edges {
+		es = append(es, [2]uint64{k.s, k.d})
+	}
+	return es
+}
+
+// OutNeighbors returns the distinct destinations of v's outgoing edges in
+// first-seen order. The returned slice is shared; callers must not mutate
+// it. It is used by the path-query workload generator to build real paths.
+func (st *Store) OutNeighbors(v uint64) []uint64 { return st.adj[v] }

@@ -1,0 +1,292 @@
+// Package gmatrix implements gMatrix (Khan & Aggarwal, ASONAM 2016), the
+// TCM variant in the paper's related work (§II) that replaces irreversible
+// hash functions with reversible ones so the sketch can answer *reverse*
+// queries — e.g., "which vertices currently carry heavy out-flow?" —
+// without storing the vertex universe.
+//
+// Reversibility here is realized with residue matrices: matrix i maps a
+// vertex to row v mod mᵢ for pairwise-coprime moduli mᵢ whose product
+// covers the vertex ID universe. A vertex heavy in the stream is heavy in
+// its row of every matrix, so candidate vertices are reconstructed from
+// heavy-row tuples by the Chinese Remainder Theorem and verified against
+// all matrices. As the paper notes, the scheme trades extra error for this
+// capability: residue rows are more collision-prone than mixed hashes.
+package gmatrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"higgs/internal/stream"
+)
+
+// Config sizes a gMatrix sketch.
+type Config struct {
+	// Moduli are the per-matrix row counts; they must be ≥ 2 and pairwise
+	// coprime, and their product must exceed MaxVertex.
+	Moduli []uint64
+	// MaxVertex bounds the vertex ID universe (exclusive). Reverse queries
+	// only report IDs below this bound.
+	MaxVertex uint64
+}
+
+// DefaultConfig covers a one-million-vertex universe with three prime
+// moduli (251·256 is not coprime-safe, so primes are used throughout).
+func DefaultConfig() Config {
+	return Config{Moduli: []uint64{97, 101, 103}, MaxVertex: 1_000_000}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if len(c.Moduli) < 2 {
+		return fmt.Errorf("gmatrix: need ≥ 2 moduli, got %d", len(c.Moduli))
+	}
+	if c.MaxVertex < 2 {
+		return fmt.Errorf("gmatrix: MaxVertex = %d, need ≥ 2", c.MaxVertex)
+	}
+	product := uint64(1)
+	for i, m := range c.Moduli {
+		if m < 2 {
+			return fmt.Errorf("gmatrix: modulus %d = %d, need ≥ 2", i, m)
+		}
+		for j := i + 1; j < len(c.Moduli); j++ {
+			if gcd(m, c.Moduli[j]) != 1 {
+				return fmt.Errorf("gmatrix: moduli %d and %d are not coprime", m, c.Moduli[j])
+			}
+		}
+		if product > math.MaxUint64/m {
+			return fmt.Errorf("gmatrix: moduli product overflows")
+		}
+		product *= m
+	}
+	if product < c.MaxVertex {
+		return fmt.Errorf("gmatrix: moduli product %d does not cover MaxVertex %d", product, c.MaxVertex)
+	}
+	return nil
+}
+
+// Sketch is a gMatrix sketch.
+type Sketch struct {
+	cfg   Config
+	mats  [][]int64 // matrix i: Moduli[i] × Moduli[i] counters
+	items int64
+}
+
+// New returns an empty gMatrix sketch.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{cfg: cfg, mats: make([][]int64, len(cfg.Moduli))}
+	for i, m := range cfg.Moduli {
+		s.mats[i] = make([]int64, m*m)
+	}
+	return s, nil
+}
+
+// Name identifies the structure in benchmark output.
+func (s *Sketch) Name() string { return "gMatrix" }
+
+// Insert adds one stream item (timestamps ignored; gMatrix is
+// non-temporal like TCM).
+func (s *Sketch) Insert(e stream.Edge) {
+	for i, m := range s.cfg.Moduli {
+		r, c := e.S%m, e.D%m
+		s.mats[i][r*m+c] += e.W
+	}
+	s.items++
+}
+
+// Delete removes one previously inserted item.
+func (s *Sketch) Delete(e stream.Edge) bool {
+	for i, m := range s.cfg.Moduli {
+		r, c := e.S%m, e.D%m
+		s.mats[i][r*m+c] -= e.W
+	}
+	s.items--
+	return true
+}
+
+// EdgeWeightAll estimates the whole-stream weight of edge s→d (minimum
+// across matrices, as in TCM).
+func (s *Sketch) EdgeWeightAll(sv, dv uint64) int64 {
+	min := int64(math.MaxInt64)
+	for i, m := range s.cfg.Moduli {
+		if c := s.mats[i][(sv%m)*m+dv%m]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// VertexOutAll estimates the whole-stream out-weight of v.
+func (s *Sketch) VertexOutAll(v uint64) int64 {
+	min := int64(math.MaxInt64)
+	for i, m := range s.cfg.Moduli {
+		row := s.mats[i][(v%m)*m : (v%m)*m+m]
+		var sum int64
+		for _, c := range row {
+			sum += c
+		}
+		if sum < min {
+			min = sum
+		}
+	}
+	return min
+}
+
+// VertexInAll estimates the whole-stream in-weight of v.
+func (s *Sketch) VertexInAll(v uint64) int64 {
+	min := int64(math.MaxInt64)
+	for i, m := range s.cfg.Moduli {
+		col := v % m
+		var sum int64
+		for r := uint64(0); r < m; r++ {
+			sum += s.mats[i][r*m+col]
+		}
+		if sum < min {
+			min = sum
+		}
+	}
+	return min
+}
+
+// HeavyVertex is one reverse-query result: a reconstructed vertex ID and
+// the sketch's (over-)estimate of its out-weight.
+type HeavyVertex struct {
+	V      uint64
+	Weight int64
+}
+
+// HeavySources answers the reverse query "which vertices have out-weight
+// ≥ threshold?" without any vertex list: rows at or above the threshold in
+// every matrix are combined by CRT into candidate IDs, which are then
+// verified against all matrices. Results are sorted by descending weight.
+// maxTuples bounds the cross-product of heavy rows explored (guarding
+// against adversarially flat sketches); 0 means 1<<16.
+func (s *Sketch) HeavySources(threshold int64, maxTuples int) ([]HeavyVertex, error) {
+	if maxTuples <= 0 {
+		maxTuples = 1 << 16
+	}
+	// Heavy rows per matrix.
+	heavy := make([][]uint64, len(s.cfg.Moduli))
+	tuples := 1
+	for i, m := range s.cfg.Moduli {
+		for r := uint64(0); r < m; r++ {
+			var sum int64
+			for _, c := range s.mats[i][r*m : r*m+m] {
+				sum += c
+			}
+			if sum >= threshold {
+				heavy[i] = append(heavy[i], r)
+			}
+		}
+		if len(heavy[i]) == 0 {
+			return nil, nil // some matrix has no heavy row: no heavy vertex
+		}
+		tuples *= len(heavy[i])
+		if tuples > maxTuples {
+			return nil, fmt.Errorf("gmatrix: %d candidate tuples exceed budget %d (raise threshold)", tuples, maxTuples)
+		}
+	}
+	// Enumerate residue tuples and reconstruct by CRT.
+	var out []HeavyVertex
+	idx := make([]int, len(heavy))
+	for {
+		residues := make([]uint64, len(heavy))
+		for i := range heavy {
+			residues[i] = heavy[i][idx[i]]
+		}
+		if v, ok := crt(residues, s.cfg.Moduli); ok && v < s.cfg.MaxVertex {
+			if w := s.VertexOutAll(v); w >= threshold {
+				out = append(out, HeavyVertex{V: v, Weight: w})
+			}
+		}
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(heavy[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Weight != out[b].Weight {
+			return out[a].Weight > out[b].Weight
+		}
+		return out[a].V < out[b].V
+	})
+	return out, nil
+}
+
+// Items returns the net number of inserted items.
+func (s *Sketch) Items() int64 { return s.items }
+
+// SpaceBytes returns the packed size: every counter at 64 bits.
+func (s *Sketch) SpaceBytes() int64 {
+	var n int64
+	for _, m := range s.mats {
+		n += int64(len(m))
+	}
+	return n * 8
+}
+
+// crt solves x ≡ residues[i] (mod moduli[i]) for pairwise coprime moduli,
+// reporting failure on (unexpected) overflow.
+func crt(residues, moduli []uint64) (uint64, bool) {
+	x := residues[0]
+	m := moduli[0]
+	for i := 1; i < len(moduli); i++ {
+		mi, ri := moduli[i], residues[i]
+		// Solve x + m·k ≡ ri (mod mi) ⇒ k ≡ (ri − x)·m⁻¹ (mod mi).
+		inv, ok := modInverse(m%mi, mi)
+		if !ok {
+			return 0, false
+		}
+		diff := (ri + mi - x%mi) % mi
+		k := diff * inv % mi
+		if k > 0 && m > (math.MaxUint64-x)/k {
+			return 0, false // overflow
+		}
+		x += m * k
+		if m > math.MaxUint64/mi {
+			return 0, false
+		}
+		m *= mi
+	}
+	return x, true
+}
+
+// modInverse returns a⁻¹ mod m via the extended Euclidean algorithm.
+func modInverse(a, m uint64) (uint64, bool) {
+	if m == 1 {
+		return 0, false
+	}
+	t, newT := int64(0), int64(1)
+	r, newR := int64(m), int64(a%m)
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if r != 1 {
+		return 0, false
+	}
+	if t < 0 {
+		t += int64(m)
+	}
+	return uint64(t), true
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,179 @@
+package gmatrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"higgs/internal/stream"
+)
+
+func build(t *testing.T) *Sketch {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Moduli: []uint64{97}, MaxVertex: 100},                 // one modulus
+		{Moduli: []uint64{4, 6}, MaxVertex: 10},                // not coprime
+		{Moduli: []uint64{97, 1}, MaxVertex: 100},              // modulus < 2
+		{Moduli: []uint64{3, 5}, MaxVertex: 100},               // product < universe
+		{Moduli: []uint64{97, 101}, MaxVertex: 0},              // bad universe
+		{Moduli: []uint64{1 << 63, 1<<63 - 1}, MaxVertex: 100}, // overflow
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardQueries(t *testing.T) {
+	s := build(t)
+	s.Insert(stream.Edge{S: 10, D: 20, W: 3})
+	s.Insert(stream.Edge{S: 10, D: 20, W: 2})
+	s.Insert(stream.Edge{S: 10, D: 30, W: 4})
+	s.Insert(stream.Edge{S: 99, D: 20, W: 7})
+	if got := s.EdgeWeightAll(10, 20); got != 5 {
+		t.Errorf("edge = %d, want 5", got)
+	}
+	if got := s.VertexOutAll(10); got != 9 {
+		t.Errorf("out = %d, want 9", got)
+	}
+	if got := s.VertexInAll(20); got != 12 {
+		t.Errorf("in = %d, want 12", got)
+	}
+}
+
+func TestOneSided(t *testing.T) {
+	s := build(t)
+	rng := rand.New(rand.NewSource(1))
+	truth := map[[2]uint64]int64{}
+	for i := 0; i < 20000; i++ {
+		e := stream.Edge{S: uint64(rng.Intn(5000)), D: uint64(rng.Intn(5000)), W: 1}
+		s.Insert(e)
+		truth[[2]uint64{e.S, e.D}]++
+	}
+	for k, want := range truth {
+		if got := s.EdgeWeightAll(k[0], k[1]); got < want {
+			t.Fatalf("edge %v: %d < %d", k, got, want)
+		}
+	}
+}
+
+func TestHeavySourcesReverseQuery(t *testing.T) {
+	s := build(t)
+	// Background noise plus two planted heavy hitters.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		s.Insert(stream.Edge{S: uint64(rng.Intn(100000)), D: uint64(rng.Intn(100000)), W: 1})
+	}
+	const hub1, hub2 = uint64(424242), uint64(777)
+	for i := 0; i < 3000; i++ {
+		s.Insert(stream.Edge{S: hub1, D: uint64(rng.Intn(100000)), W: 1})
+	}
+	for i := 0; i < 2000; i++ {
+		s.Insert(stream.Edge{S: hub2, D: uint64(rng.Intn(100000)), W: 1})
+	}
+	got, err := s.HeavySources(1500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]int64{}
+	for _, h := range got {
+		found[h.V] = h.Weight
+	}
+	if w, ok := found[hub1]; !ok || w < 3000 {
+		t.Fatalf("hub1 not recovered: %v", got)
+	}
+	if w, ok := found[hub2]; !ok || w < 2000 {
+		t.Fatalf("hub2 not recovered: %v", got)
+	}
+	// Sorted by descending weight.
+	for i := 1; i < len(got); i++ {
+		if got[i].Weight > got[i-1].Weight {
+			t.Fatal("results not sorted")
+		}
+	}
+	// hub1 outweighs hub2.
+	if len(got) >= 2 && got[0].V != hub1 {
+		t.Fatalf("heaviest is %d, want %d", got[0].V, hub1)
+	}
+}
+
+func TestHeavySourcesNoHeavy(t *testing.T) {
+	s := build(t)
+	s.Insert(stream.Edge{S: 1, D: 2, W: 1})
+	got, err := s.HeavySources(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("phantom heavy hitters: %v", got)
+	}
+}
+
+func TestHeavySourcesTupleBudget(t *testing.T) {
+	s := build(t)
+	// Flatten the sketch: every row becomes "heavy" at threshold 1.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		s.Insert(stream.Edge{S: uint64(rng.Intn(1000000)), D: uint64(rng.Intn(1000000)), W: 1})
+	}
+	if _, err := s.HeavySources(1, 100); err == nil {
+		t.Fatal("tuple budget not enforced")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := build(t)
+	e := stream.Edge{S: 5, D: 6, W: 4}
+	s.Insert(e)
+	if !s.Delete(e) {
+		t.Fatal("delete failed")
+	}
+	if got := s.EdgeWeightAll(5, 6); got != 0 {
+		t.Errorf("after delete = %d", got)
+	}
+}
+
+func TestCRT(t *testing.T) {
+	moduli := []uint64{97, 101, 103}
+	for _, v := range []uint64{0, 1, 424242, 999999} {
+		residues := []uint64{v % 97, v % 101, v % 103}
+		got, ok := crt(residues, moduli)
+		if !ok || got != v {
+			t.Fatalf("crt(%d) = %d, ok=%v", v, got, ok)
+		}
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	for a := uint64(1); a < 97; a++ {
+		inv, ok := modInverse(a, 97)
+		if !ok || a*inv%97 != 1 {
+			t.Fatalf("modInverse(%d, 97) = %d, ok=%v", a, inv, ok)
+		}
+	}
+	if _, ok := modInverse(2, 4); ok {
+		t.Fatal("non-coprime inverse accepted")
+	}
+	if _, ok := modInverse(0, 1); ok {
+		t.Fatal("mod 1 inverse accepted")
+	}
+}
+
+func TestSpaceBytes(t *testing.T) {
+	s := build(t)
+	want := int64(97*97+101*101+103*103) * 8
+	if got := s.SpaceBytes(); got != want {
+		t.Fatalf("SpaceBytes = %d, want %d", got, want)
+	}
+}

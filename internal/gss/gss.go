@@ -1,0 +1,307 @@
+// Package gss implements GSS (Gou, Zou, Zhao, Yang — ICDE 2019), the
+// fingerprint-based graph stream sketch that Horae builds its layers on
+// (paper Fig. 4): a single d×d matrix whose cells store fingerprinted
+// edges, candidate placement sequences ("square hashing", realized here as
+// the same invertible linear-congruential sequences HIGGS uses, with the
+// chosen index recorded per cell), and an exact adjacency buffer for edges
+// that cannot be placed.
+//
+// GSS summarizes a whole stream without temporal information. The Horae
+// and AuxoTime layers key it with (vertex, time-block) pairs to add
+// temporal support.
+package gss
+
+import (
+	"fmt"
+
+	"higgs/internal/hashing"
+	"higgs/internal/stream"
+)
+
+// Config sizes a GSS sketch.
+type Config struct {
+	D     uint32 // matrix dimension; power of two
+	FBits uint   // fingerprint bits; 1..32. Z = D·2^FBits is the hash range.
+	Maps  int    // candidate positions per vertex; 1..16, ≤ D
+	// MaxBuffer bounds the exact adjacency buffer (0 = unbounded). Once
+	// full, further unplaceable edges degrade to a coarse per-address-pair
+	// count with no fingerprints — the memory-capped operating regime in
+	// which GSS-based structures exhibit their published accuracy loss.
+	// The fallback only ever over-counts, preserving one-sided error.
+	MaxBuffer int
+	Seed      uint64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case !hashing.IsPow2(c.D):
+		return fmt.Errorf("gss: D = %d is not a power of two", c.D)
+	case c.FBits < 1 || c.FBits > 32:
+		return fmt.Errorf("gss: FBits = %d, need 1..32", c.FBits)
+	case c.Maps < 1 || c.Maps > 16:
+		return fmt.Errorf("gss: Maps = %d, need 1..16", c.Maps)
+	case uint32(c.Maps) > c.D:
+		return fmt.Errorf("gss: Maps = %d exceeds D = %d", c.Maps, c.D)
+	default:
+		return nil
+	}
+}
+
+// cell is one matrix slot: a fingerprinted edge and its placement index.
+type cell struct {
+	fpS, fpD uint32
+	w        int64
+	idx      uint8
+	used     bool
+}
+
+// bufKey identifies a buffered edge by its full hash coordinates.
+type bufKey struct {
+	fpS, addrS uint32
+	fpD, addrD uint32
+}
+
+type halfKey struct {
+	fp, addr uint32
+}
+
+// addrKey identifies a coarse-fallback slot by address pair only.
+type addrKey struct{ aS, aD uint32 }
+
+// Sketch is a GSS sketch.
+type Sketch struct {
+	cfg       Config
+	lcg       hashing.LCG
+	h         hashing.Hasher
+	cells     []cell
+	buffer    map[bufKey]int64  // exact adjacency buffer
+	bufOut    map[halfKey]int64 // per-source aggregate of the buffer
+	bufIn     map[halfKey]int64 // per-destination aggregate of the buffer
+	coarse    map[addrKey]int64 // fingerprint-free fallback past MaxBuffer
+	coarseOut map[uint32]int64
+	coarseIn  map[uint32]int64
+	items     int64
+}
+
+// New returns an empty GSS sketch.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sketch{
+		cfg:       cfg,
+		lcg:       hashing.MustLCG(cfg.D),
+		h:         hashing.NewHasher(cfg.Seed),
+		cells:     make([]cell, int(cfg.D)*int(cfg.D)),
+		buffer:    make(map[bufKey]int64),
+		bufOut:    make(map[halfKey]int64),
+		bufIn:     make(map[halfKey]int64),
+		coarse:    make(map[addrKey]int64),
+		coarseOut: make(map[uint32]int64),
+		coarseIn:  make(map[uint32]int64),
+	}, nil
+}
+
+// Name identifies the structure in benchmark output.
+func (s *Sketch) Name() string { return "GSS" }
+
+// split derives the fingerprint/address pair of a raw 64-bit hash.
+func (s *Sketch) split(h uint64) (fp, addr uint32) {
+	return hashing.Split(h, s.cfg.FBits, s.cfg.D)
+}
+
+// Insert adds one stream item (timestamps ignored; GSS is non-temporal).
+func (s *Sketch) Insert(e stream.Edge) {
+	s.AddHashed(s.h.Hash(e.S), s.h.Hash(e.D), e.W)
+	s.items++
+}
+
+// AddHashed adds weight w for an edge identified by pre-hashed endpoint
+// keys (Horae passes Mix2(vertex, block) values here).
+func (s *Sketch) AddHashed(hs, hd uint64, w int64) {
+	fpS, aS := s.split(hs)
+	fpD, aD := s.split(hd)
+	var (
+		freeCell *cell
+		freeIdx  uint8
+	)
+	row := aS
+	for i := 0; i < s.cfg.Maps; i++ {
+		col := aD
+		for j := 0; j < s.cfg.Maps; j++ {
+			c := &s.cells[int(row)*int(s.cfg.D)+int(col)]
+			idx := uint8(i<<4 | j)
+			if c.used {
+				if c.fpS == fpS && c.fpD == fpD && c.idx == idx {
+					c.w += w
+					return
+				}
+			} else if freeCell == nil {
+				freeCell, freeIdx = c, idx
+			}
+			col = s.lcg.Next(col)
+		}
+		row = s.lcg.Next(row)
+	}
+	if freeCell != nil {
+		*freeCell = cell{fpS: fpS, fpD: fpD, w: w, idx: freeIdx, used: true}
+		return
+	}
+	k := bufKey{fpS, aS, fpD, aD}
+	if _, ok := s.buffer[k]; !ok && s.cfg.MaxBuffer > 0 && len(s.buffer) >= s.cfg.MaxBuffer {
+		// Buffer budget exhausted: degrade to the coarse per-address count.
+		s.coarse[addrKey{aS, aD}] += w
+		s.coarseOut[aS] += w
+		s.coarseIn[aD] += w
+		return
+	}
+	s.buffer[k] += w
+	s.bufOut[halfKey{fpS, aS}] += w
+	s.bufIn[halfKey{fpD, aD}] += w
+}
+
+// SubHashed subtracts weight w from the edge identified by pre-hashed
+// keys, reporting whether a matching entry was found.
+func (s *Sketch) SubHashed(hs, hd uint64, w int64) bool {
+	fpS, aS := s.split(hs)
+	fpD, aD := s.split(hd)
+	row := aS
+	for i := 0; i < s.cfg.Maps; i++ {
+		col := aD
+		for j := 0; j < s.cfg.Maps; j++ {
+			c := &s.cells[int(row)*int(s.cfg.D)+int(col)]
+			if c.used && c.fpS == fpS && c.fpD == fpD && c.idx == uint8(i<<4|j) {
+				c.w -= w
+				return true
+			}
+			col = s.lcg.Next(col)
+		}
+		row = s.lcg.Next(row)
+	}
+	k := bufKey{fpS, aS, fpD, aD}
+	if _, ok := s.buffer[k]; ok {
+		s.buffer[k] -= w
+		s.bufOut[halfKey{fpS, aS}] -= w
+		s.bufIn[halfKey{fpD, aD}] -= w
+		return true
+	}
+	if _, ok := s.coarse[addrKey{aS, aD}]; ok {
+		s.coarse[addrKey{aS, aD}] -= w
+		s.coarseOut[aS] -= w
+		s.coarseIn[aD] -= w
+		return true
+	}
+	return false
+}
+
+// Delete removes one previously inserted item.
+func (s *Sketch) Delete(e stream.Edge) bool {
+	ok := s.SubHashed(s.h.Hash(e.S), s.h.Hash(e.D), e.W)
+	if ok {
+		s.items--
+	}
+	return ok
+}
+
+// EdgeWeightAll estimates the whole-stream aggregated weight of the edge.
+func (s *Sketch) EdgeWeightAll(sv, dv uint64) int64 {
+	return s.EdgeWeightHashed(s.h.Hash(sv), s.h.Hash(dv))
+}
+
+// EdgeWeightHashed is EdgeWeightAll over pre-hashed keys.
+func (s *Sketch) EdgeWeightHashed(hs, hd uint64) int64 {
+	fpS, aS := s.split(hs)
+	fpD, aD := s.split(hd)
+	var sum int64
+	row := aS
+	for i := 0; i < s.cfg.Maps; i++ {
+		col := aD
+		for j := 0; j < s.cfg.Maps; j++ {
+			c := &s.cells[int(row)*int(s.cfg.D)+int(col)]
+			if c.used && c.fpS == fpS && c.fpD == fpD && c.idx == uint8(i<<4|j) {
+				sum += c.w
+			}
+			col = s.lcg.Next(col)
+		}
+		row = s.lcg.Next(row)
+	}
+	sum += s.buffer[bufKey{fpS, aS, fpD, aD}]
+	sum += s.coarse[addrKey{aS, aD}]
+	return sum
+}
+
+// VertexOutAll estimates the whole-stream out-weight of v.
+func (s *Sketch) VertexOutAll(v uint64) int64 { return s.VertexOutHashed(s.h.Hash(v)) }
+
+// VertexOutHashed is VertexOutAll over a pre-hashed key.
+func (s *Sketch) VertexOutHashed(hv uint64) int64 {
+	fp, addr := s.split(hv)
+	var sum int64
+	row := addr
+	for i := 0; i < s.cfg.Maps; i++ {
+		cells := s.cells[int(row)*int(s.cfg.D) : (int(row)+1)*int(s.cfg.D)]
+		for k := range cells {
+			c := &cells[k]
+			if c.used && c.fpS == fp && int(c.idx>>4) == i {
+				sum += c.w
+			}
+		}
+		row = s.lcg.Next(row)
+	}
+	sum += s.bufOut[halfKey{fp, addr}]
+	sum += s.coarseOut[addr]
+	return sum
+}
+
+// VertexInAll estimates the whole-stream in-weight of v.
+func (s *Sketch) VertexInAll(v uint64) int64 { return s.VertexInHashed(s.h.Hash(v)) }
+
+// VertexInHashed is VertexInAll over a pre-hashed key.
+func (s *Sketch) VertexInHashed(hv uint64) int64 {
+	fp, addr := s.split(hv)
+	var sum int64
+	col := addr
+	d := int(s.cfg.D)
+	for j := 0; j < s.cfg.Maps; j++ {
+		for r := 0; r < d; r++ {
+			c := &s.cells[r*d+int(col)]
+			if c.used && c.fpD == fp && int(c.idx&0xf) == j {
+				sum += c.w
+			}
+		}
+		col = s.lcg.Next(col)
+	}
+	sum += s.bufIn[halfKey{fp, addr}]
+	sum += s.coarseIn[addr]
+	return sum
+}
+
+// Items returns the number of inserted items.
+func (s *Sketch) Items() int64 { return s.items }
+
+// BufferLen returns the number of edges in the exact adjacency buffer.
+func (s *Sketch) BufferLen() int { return len(s.buffer) }
+
+// CoarseLen returns the number of coarse fallback slots in use.
+func (s *Sketch) CoarseLen() int { return len(s.coarse) }
+
+// SpaceBytes returns the packed structural size: every cell at
+// 2·FBits + idx + 64 bits, plus buffered edges at full key + weight width,
+// plus coarse slots at address pair + weight width.
+func (s *Sketch) SpaceBytes() int64 {
+	idxBits := 2 * int64(hashing.Log2(uint32(nextPow2(s.cfg.Maps))))
+	cellBits := int64(len(s.cells)) * (2*int64(s.cfg.FBits) + idxBits + 64)
+	addrBits := 2 * int64(hashing.Log2(s.cfg.D))
+	bufBits := int64(len(s.buffer)) * (2*int64(s.cfg.FBits) + addrBits + 64)
+	coarseBits := int64(len(s.coarse)) * (addrBits + 64)
+	return (cellBits + bufBits + coarseBits + 7) / 8
+}
+
+func nextPow2(x int) int {
+	p := 1
+	for p < x {
+		p <<= 1
+	}
+	return p
+}

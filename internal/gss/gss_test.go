@@ -1,0 +1,237 @@
+package gss
+
+import (
+	"math/rand"
+	"testing"
+
+	"higgs/internal/exact"
+	"higgs/internal/stream"
+)
+
+func build(t *testing.T, cfg Config) *Sketch {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func defCfg() Config { return Config{D: 64, FBits: 12, Maps: 4, Seed: 1} }
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{D: 0, FBits: 12, Maps: 4},
+		{D: 63, FBits: 12, Maps: 4},
+		{D: 64, FBits: 0, Maps: 4},
+		{D: 64, FBits: 40, Maps: 4},
+		{D: 64, FBits: 12, Maps: 0},
+		{D: 64, FBits: 12, Maps: 17},
+		{D: 2, FBits: 12, Maps: 4},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBasicQueries(t *testing.T) {
+	s := build(t, defCfg())
+	s.Insert(stream.Edge{S: 1, D: 2, W: 3})
+	s.Insert(stream.Edge{S: 1, D: 2, W: 2})
+	s.Insert(stream.Edge{S: 1, D: 7, W: 4})
+	s.Insert(stream.Edge{S: 9, D: 2, W: 5})
+	if got := s.EdgeWeightAll(1, 2); got != 5 {
+		t.Errorf("edge (1,2) = %d, want 5", got)
+	}
+	if got := s.EdgeWeightAll(2, 1); got != 0 {
+		t.Errorf("edge (2,1) = %d, want 0 (direction matters)", got)
+	}
+	if got := s.VertexOutAll(1); got != 9 {
+		t.Errorf("out(1) = %d, want 9", got)
+	}
+	if got := s.VertexInAll(2); got != 10 {
+		t.Errorf("in(2) = %d, want 10", got)
+	}
+}
+
+func TestBufferPath(t *testing.T) {
+	// A 2×2 matrix with 1 candidate overflows immediately into the buffer.
+	s := build(t, Config{D: 2, FBits: 16, Maps: 1, Seed: 2})
+	var want int64
+	for i := uint64(0); i < 64; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 100, W: 1})
+		want++
+	}
+	if s.BufferLen() == 0 {
+		t.Fatal("expected buffered edges")
+	}
+	var got int64
+	for i := uint64(0); i < 64; i++ {
+		got += s.EdgeWeightAll(i, i+100)
+	}
+	if got < want {
+		t.Fatalf("total edge weight %d < inserted %d (buffer lost data)", got, want)
+	}
+	// Vertex queries must see buffered edges too.
+	var outSum int64
+	for i := uint64(0); i < 64; i++ {
+		outSum += s.VertexOutAll(i)
+	}
+	if outSum < want {
+		t.Fatalf("out-sum %d < inserted %d", outSum, want)
+	}
+}
+
+func TestOneSidedVsExact(t *testing.T) {
+	st, err := stream.Generate(stream.Config{Nodes: 300, Edges: 10000, Span: 10000, Skew: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.FromStream(st)
+	s := build(t, Config{D: 128, FBits: 14, Maps: 4, Seed: 4})
+	for _, e := range st {
+		s.Insert(e)
+	}
+	first, last := truth.Span()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		sv, dv := uint64(rng.Intn(300)), uint64(rng.Intn(300))
+		if got, want := s.EdgeWeightAll(sv, dv), truth.EdgeWeight(sv, dv, first, last); got < want {
+			t.Fatalf("edge (%d,%d) = %d < truth %d", sv, dv, got, want)
+		}
+		if got, want := s.VertexOutAll(sv), truth.VertexOut(sv, first, last); got < want {
+			t.Fatalf("out(%d) = %d < truth %d", sv, got, want)
+		}
+		if got, want := s.VertexInAll(dv), truth.VertexIn(dv, first, last); got < want {
+			t.Fatalf("in(%d) = %d < truth %d", dv, got, want)
+		}
+	}
+}
+
+func TestFingerprintsBeatTCM(t *testing.T) {
+	// On an overloaded small matrix, fingerprints keep edge queries far
+	// more accurate than counter-only collisions would.
+	s := build(t, Config{D: 16, FBits: 16, Maps: 4, Seed: 6})
+	for i := uint64(0); i < 500; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 1000, W: 1})
+	}
+	var exactCount int
+	for i := uint64(0); i < 500; i++ {
+		if s.EdgeWeightAll(i, i+1000) == 1 {
+			exactCount++
+		}
+	}
+	if exactCount < 450 {
+		t.Fatalf("only %d/500 edges answered exactly; fingerprints ineffective", exactCount)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := build(t, defCfg())
+	e := stream.Edge{S: 5, D: 6, W: 4}
+	s.Insert(e)
+	if !s.Delete(e) {
+		t.Fatal("delete failed")
+	}
+	if got := s.EdgeWeightAll(5, 6); got != 0 {
+		t.Errorf("after delete = %d, want 0", got)
+	}
+	if s.Delete(stream.Edge{S: 50, D: 60, W: 1}) {
+		t.Error("delete of absent edge succeeded")
+	}
+}
+
+func TestDeleteBufferedEdge(t *testing.T) {
+	s := build(t, Config{D: 2, FBits: 16, Maps: 1, Seed: 7})
+	var buffered *stream.Edge
+	for i := uint64(0); i < 64 && buffered == nil; i++ {
+		e := stream.Edge{S: i, D: i + 100, W: 2}
+		s.Insert(e)
+		if s.BufferLen() > 0 && buffered == nil {
+			buffered = &e
+		}
+	}
+	if buffered == nil {
+		t.Skip("no buffered edge produced")
+	}
+	if !s.Delete(*buffered) {
+		t.Fatal("delete of buffered edge failed")
+	}
+	if got := s.EdgeWeightAll(buffered.S, buffered.D); got != 0 {
+		t.Errorf("buffered edge after delete = %d, want 0", got)
+	}
+}
+
+func TestHashedKeyRoundTrip(t *testing.T) {
+	// Horae drives GSS through pre-hashed keys; verify symmetry.
+	s := build(t, defCfg())
+	s.AddHashed(12345, 67890, 7)
+	if got := s.EdgeWeightHashed(12345, 67890); got != 7 {
+		t.Errorf("hashed edge = %d, want 7", got)
+	}
+	if got := s.VertexOutHashed(12345); got != 7 {
+		t.Errorf("hashed out = %d, want 7", got)
+	}
+	if got := s.VertexInHashed(67890); got != 7 {
+		t.Errorf("hashed in = %d, want 7", got)
+	}
+	if !s.SubHashed(12345, 67890, 7) {
+		t.Error("SubHashed failed")
+	}
+}
+
+func TestBoundedBufferCoarseFallback(t *testing.T) {
+	s := build(t, Config{D: 2, FBits: 16, Maps: 1, MaxBuffer: 4, Seed: 9})
+	var want int64
+	for i := uint64(0); i < 200; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 500, W: 1})
+		want++
+	}
+	if s.BufferLen() > 4 {
+		t.Fatalf("buffer exceeded budget: %d", s.BufferLen())
+	}
+	if s.CoarseLen() == 0 {
+		t.Fatal("coarse fallback unused despite exhausted buffer")
+	}
+	// One-sided: every edge still answers at least its true weight.
+	var total int64
+	for i := uint64(0); i < 200; i++ {
+		got := s.EdgeWeightAll(i, i+500)
+		if got < 1 {
+			t.Fatalf("edge %d lost under coarse fallback: %d", i, got)
+		}
+		total += got
+	}
+	if total < want {
+		t.Fatalf("coarse fallback lost weight: %d < %d", total, want)
+	}
+	// Vertex queries must see coarse mass too (and may overcount).
+	var outSum int64
+	for i := uint64(0); i < 200; i++ {
+		outSum += s.VertexOutAll(i)
+	}
+	if outSum < want {
+		t.Fatalf("out-sum %d < inserted %d", outSum, want)
+	}
+	// Deleting a coarse-absorbed edge decrements the coarse slot.
+	before := s.EdgeWeightAll(199, 699)
+	if !s.Delete(stream.Edge{S: 199, D: 699, W: 1}) {
+		t.Fatal("delete of coarse-absorbed edge failed")
+	}
+	if after := s.EdgeWeightAll(199, 699); after != before-1 {
+		t.Fatalf("coarse delete: %d -> %d", before, after)
+	}
+}
+
+func TestSpaceGrowsWithBuffer(t *testing.T) {
+	s := build(t, Config{D: 2, FBits: 16, Maps: 1, Seed: 8})
+	empty := s.SpaceBytes()
+	for i := uint64(0); i < 200; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 300, W: 1})
+	}
+	if s.SpaceBytes() <= empty {
+		t.Error("buffered edges not reflected in space accounting")
+	}
+}

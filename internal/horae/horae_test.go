@@ -1,0 +1,156 @@
+package horae
+
+import (
+	"math/rand"
+	"testing"
+
+	"higgs/internal/exact"
+	"higgs/internal/gss"
+	"higgs/internal/stream"
+	"higgs/internal/trq"
+)
+
+func build(t *testing.T, maxLevel int, compact bool) *Summary {
+	t.Helper()
+	s, err := New(Config{
+		MaxLevel: maxLevel,
+		Compact:  compact,
+		Layer:    gss.Config{D: 64, FBits: 12, Maps: 4},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{MaxLevel: 0}); err == nil {
+		t.Error("MaxLevel=0 accepted")
+	}
+	if _, err := New(Config{MaxLevel: 41}); err == nil {
+		t.Error("MaxLevel=41 accepted")
+	}
+	if _, err := New(Config{MaxLevel: 5, Layer: gss.Config{D: 3}}); err == nil {
+		t.Error("invalid layer config accepted")
+	}
+}
+
+func TestLayerCounts(t *testing.T) {
+	if got := build(t, 10, false).StoredLayers(); got != 11 {
+		t.Errorf("full variant stores %d layers, want 11", got)
+	}
+	if got := build(t, 10, true).StoredLayers(); got != 6 {
+		t.Errorf("cpt variant stores %d layers, want 6 (levels 0,2,4,6,8,10)", got)
+	}
+}
+
+func TestTemporalRanges(t *testing.T) {
+	for _, compact := range []bool{false, true} {
+		s := build(t, 16, compact)
+		s.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 10})
+		s.Insert(stream.Edge{S: 1, D: 2, W: 2, T: 20})
+		s.Insert(stream.Edge{S: 1, D: 2, W: 5, T: 30})
+		cases := []struct {
+			ts, te int64
+			want   int64
+		}{
+			{0, 100, 10}, {10, 10, 3}, {11, 29, 2}, {15, 35, 7},
+			{31, 100, 0}, {0, 9, 0}, {25, 5, 0},
+		}
+		for _, c := range cases {
+			if got := s.EdgeWeight(1, 2, c.ts, c.te); got != c.want {
+				t.Errorf("compact=%v: edge [%d,%d] = %d, want %d", compact, c.ts, c.te, got, c.want)
+			}
+		}
+		if got := s.VertexOut(1, 0, 100); got != 10 {
+			t.Errorf("compact=%v: out(1) = %d, want 10", compact, got)
+		}
+		if got := s.VertexIn(2, 11, 30); got != 7 {
+			t.Errorf("compact=%v: in(2) = %d, want 7", compact, got)
+		}
+	}
+}
+
+func TestOneSidedVsExact(t *testing.T) {
+	st, err := stream.Generate(stream.Config{Nodes: 200, Edges: 8000, Span: 50000, Skew: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.FromStream(st)
+	maxLevel := trq.LevelsForSpan(50000, 30)
+	for _, compact := range []bool{false, true} {
+		s, err := New(Config{
+			MaxLevel: maxLevel,
+			Compact:  compact,
+			Layer:    gss.Config{D: 128, FBits: 13, Maps: 4},
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range st {
+			s.Insert(e)
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 200; i++ {
+			ts := int64(rng.Intn(50000))
+			te := ts + int64(rng.Intn(20000))
+			sv, dv := uint64(rng.Intn(200)), uint64(rng.Intn(200))
+			if got, want := s.EdgeWeight(sv, dv, ts, te), truth.EdgeWeight(sv, dv, ts, te); got < want {
+				t.Fatalf("compact=%v: edge (%d,%d) [%d,%d] = %d < truth %d", compact, sv, dv, ts, te, got, want)
+			}
+			if got, want := s.VertexOut(sv, ts, te), truth.VertexOut(sv, ts, te); got < want {
+				t.Fatalf("compact=%v: out(%d) = %d < truth %d", compact, sv, got, want)
+			}
+			if got, want := s.VertexIn(dv, ts, te), truth.VertexIn(dv, ts, te); got < want {
+				t.Fatalf("compact=%v: in(%d) = %d < truth %d", compact, dv, got, want)
+			}
+		}
+	}
+}
+
+func TestCompactUsesLessSpace(t *testing.T) {
+	st, err := stream.Generate(stream.Config{Nodes: 200, Edges: 5000, Span: 50000, Skew: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := build(t, 16, false)
+	cpt := build(t, 16, true)
+	for _, e := range st {
+		full.Insert(e)
+		cpt.Insert(e)
+	}
+	if cpt.SpaceBytes() >= full.SpaceBytes() {
+		t.Fatalf("cpt space %d not below full %d", cpt.SpaceBytes(), full.SpaceBytes())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := build(t, 16, false)
+	e := stream.Edge{S: 1, D: 2, W: 3, T: 10}
+	s.Insert(e)
+	if !s.Delete(e) {
+		t.Fatal("delete failed")
+	}
+	if got := s.EdgeWeight(1, 2, 0, 100); got != 0 {
+		t.Errorf("after delete = %d, want 0", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if build(t, 4, false).Name() != "Horae" {
+		t.Error("wrong name for full variant")
+	}
+	if build(t, 4, true).Name() != "Horae-cpt" {
+		t.Error("wrong name for compact variant")
+	}
+}
+
+func TestNegativeTimestampsClamped(t *testing.T) {
+	s := build(t, 8, false)
+	s.Insert(stream.Edge{S: 1, D: 2, W: 1, T: -5})
+	if got := s.EdgeWeight(1, 2, 0, 10); got != 1 {
+		t.Errorf("negative-time insert lost: %d", got)
+	}
+}

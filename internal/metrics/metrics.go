@@ -1,0 +1,241 @@
+// Package metrics implements the evaluation metrics of the paper's §VI-A —
+// average absolute error (AAE) and average relative error (ARE, Eq. 17),
+// query latency, insertion/deletion throughput, and space — plus a small
+// aligned-table renderer the benchmark harness uses to print the rows each
+// paper figure plots.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Accuracy accumulates AAE and ARE over a query set (paper Eq. 17):
+//
+//	AAE = (1/p)·Σ|fᵢ − f̂ᵢ|      ARE = (1/p)·Σ|fᵢ − f̂ᵢ|/fᵢ
+//
+// Relative error divides by max(fᵢ, 1) so zero-truth queries (which all
+// structures may legitimately over-estimate) contribute their absolute
+// error instead of an undefined ratio.
+type Accuracy struct {
+	n           int
+	absSum      float64
+	relSum      float64
+	undercounts int
+}
+
+// Observe records one query: the estimate and the exact value.
+func (a *Accuracy) Observe(got, want int64) {
+	diff := got - want
+	if diff < 0 {
+		a.undercounts++
+		diff = -diff
+	}
+	a.n++
+	a.absSum += float64(diff)
+	den := float64(want)
+	if den < 1 {
+		den = 1
+	}
+	a.relSum += float64(diff) / den
+}
+
+// N returns the number of observed queries.
+func (a *Accuracy) N() int { return a.n }
+
+// AAE returns the average absolute error.
+func (a *Accuracy) AAE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.absSum / float64(a.n)
+}
+
+// ARE returns the average relative error.
+func (a *Accuracy) ARE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.relSum / float64(a.n)
+}
+
+// Undercounts returns how many estimates fell below the truth. For every
+// structure in this repository it must be zero (one-sided error); the
+// harness asserts this.
+func (a *Accuracy) Undercounts() int { return a.undercounts }
+
+// Latency accumulates query durations.
+type Latency struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe records one duration.
+func (l *Latency) Observe(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// ObserveBatch records a batch of n operations that together took total;
+// each operation is credited total/n (how the harness times tight query
+// loops without per-call clock overhead).
+func (l *Latency) ObserveBatch(total time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	per := total / time.Duration(n)
+	for i := 0; i < n; i++ {
+		l.Observe(per)
+	}
+}
+
+// N returns the number of samples.
+func (l *Latency) N() int { return len(l.samples) }
+
+// Mean returns the mean latency.
+func (l *Latency) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest rank.
+func (l *Latency) Quantile(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	idx := int(q * float64(len(l.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Throughput returns operations per second.
+func Throughput(ops int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// FormatEPS renders a throughput figure as, e.g., "1.23M ops/s".
+func FormatEPS(eps float64) string {
+	switch {
+	case eps >= 1e6:
+		return fmt.Sprintf("%.2fM ops/s", eps/1e6)
+	case eps >= 1e3:
+		return fmt.Sprintf("%.2fK ops/s", eps/1e3)
+	default:
+		return fmt.Sprintf("%.1f ops/s", eps)
+	}
+}
+
+// FormatBytes renders a byte count as, e.g., "12.3 MB".
+func FormatBytes(b int64) string {
+	const unit = 1024
+	switch {
+	case b >= unit*unit*unit:
+		return fmt.Sprintf("%.2f GB", float64(b)/(unit*unit*unit))
+	case b >= unit*unit:
+		return fmt.Sprintf("%.2f MB", float64(b)/(unit*unit))
+	case b >= unit:
+		return fmt.Sprintf("%.2f KB", float64(b)/unit)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FormatFloat renders an error metric compactly, switching to scientific
+// notation for very large or very small magnitudes (the paper's log-scale
+// plots span many decades).
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e5 || v < 1e-3:
+		return fmt.Sprintf("%.2e", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Table renders aligned columns. It is intentionally minimal: the harness
+// prints one table per paper figure.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends one row; missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, width := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", width-len(c)))
+			if i < len(widths)-1 {
+				b.WriteString("  ")
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, width := range widths {
+		total += width + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package pgss
+
+import (
+	"math/rand"
+	"testing"
+
+	"higgs/internal/exact"
+	"higgs/internal/stream"
+)
+
+func build(t *testing.T, g int, d uint32) *Summary {
+	t.Helper()
+	s, err := New(Config{Matrices: g, D: d, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Matrices: 0, D: 16}); err == nil {
+		t.Error("Matrices=0 accepted")
+	}
+	if _, err := New(Config{Matrices: 2, D: 0}); err == nil {
+		t.Error("D=0 accepted")
+	}
+}
+
+func TestTemporalRanges(t *testing.T) {
+	s := build(t, 3, 256)
+	s.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 10})
+	s.Insert(stream.Edge{S: 1, D: 2, W: 2, T: 20})
+	s.Insert(stream.Edge{S: 1, D: 2, W: 5, T: 30})
+	cases := []struct {
+		ts, te int64
+		want   int64
+	}{
+		{0, 100, 10}, {10, 10, 3}, {11, 29, 2}, {15, 35, 7},
+		{31, 100, 0}, {0, 9, 0}, {25, 5, 0},
+	}
+	for _, c := range cases {
+		if got := s.EdgeWeight(1, 2, c.ts, c.te); got != c.want {
+			t.Errorf("edge [%d,%d] = %d, want %d", c.ts, c.te, got, c.want)
+		}
+	}
+}
+
+func TestVertexQueries(t *testing.T) {
+	s := build(t, 3, 256)
+	s.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 10})
+	s.Insert(stream.Edge{S: 1, D: 5, W: 4, T: 20})
+	s.Insert(stream.Edge{S: 9, D: 2, W: 7, T: 30})
+	if got := s.VertexOut(1, 0, 100); got != 7 {
+		t.Errorf("out(1) = %d, want 7", got)
+	}
+	if got := s.VertexOut(1, 15, 100); got != 4 {
+		t.Errorf("out(1) tail = %d, want 4", got)
+	}
+	if got := s.VertexIn(2, 0, 100); got != 10 {
+		t.Errorf("in(2) = %d, want 10", got)
+	}
+	if got := s.VertexIn(2, 0, 15); got != 3 {
+		t.Errorf("in(2) head = %d, want 3", got)
+	}
+}
+
+func TestOneSidedVsExact(t *testing.T) {
+	st, err := stream.Generate(stream.Config{Nodes: 300, Edges: 10000, Span: 50000, Skew: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.FromStream(st)
+	s := build(t, 3, 512)
+	for _, e := range st {
+		s.Insert(e)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		ts := int64(rng.Intn(50000))
+		te := ts + int64(rng.Intn(20000))
+		sv, dv := uint64(rng.Intn(300)), uint64(rng.Intn(300))
+		if got, want := s.EdgeWeight(sv, dv, ts, te), truth.EdgeWeight(sv, dv, ts, te); got < want {
+			t.Fatalf("edge (%d,%d) [%d,%d] = %d < truth %d", sv, dv, ts, te, got, want)
+		}
+		if got, want := s.VertexOut(sv, ts, te), truth.VertexOut(sv, ts, te); got < want {
+			t.Fatalf("out(%d) = %d < truth %d", sv, got, want)
+		}
+		if got, want := s.VertexIn(dv, ts, te), truth.VertexIn(dv, ts, te); got < want {
+			t.Fatalf("in(%d) = %d < truth %d", dv, got, want)
+		}
+	}
+}
+
+func TestNoFingerprintCollisions(t *testing.T) {
+	// PGSS's known weakness: distinct edges share buckets undetectably.
+	s := build(t, 1, 4)
+	for i := uint64(0); i < 200; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 1000, W: 1, T: int64(i)})
+	}
+	var over int64
+	for i := uint64(0); i < 200; i++ {
+		over += s.EdgeWeight(i, i+1000, 0, 1000) - 1
+	}
+	if over == 0 {
+		t.Fatal("expected collision error on 4×4 PGSS")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := build(t, 2, 128)
+	s.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 10})
+	s.Insert(stream.Edge{S: 1, D: 2, W: 4, T: 20})
+	if !s.Delete(stream.Edge{S: 1, D: 2, W: 3, T: 20}) {
+		t.Fatal("delete failed")
+	}
+	if got := s.EdgeWeight(1, 2, 0, 100); got != 4 {
+		t.Errorf("after delete = %d, want 4", got)
+	}
+	if s.Items() != 1 {
+		t.Errorf("Items = %d, want 1", s.Items())
+	}
+}
+
+func TestOutOfOrderClamped(t *testing.T) {
+	s := build(t, 2, 128)
+	s.Insert(stream.Edge{S: 1, D: 2, W: 1, T: 100})
+	s.Insert(stream.Edge{S: 1, D: 2, W: 1, T: 50}) // clamped to 100
+	if got := s.EdgeWeight(1, 2, 100, 100); got != 2 {
+		t.Errorf("clamped insert: [100,100] = %d, want 2", got)
+	}
+	if got := s.EdgeWeight(1, 2, 0, 99); got != 0 {
+		t.Errorf("[0,99] = %d, want 0", got)
+	}
+}
+
+func TestSpaceGrowsWithCheckpoints(t *testing.T) {
+	s := build(t, 2, 64)
+	before := s.SpaceBytes()
+	for i := 0; i < 1000; i++ {
+		s.Insert(stream.Edge{S: uint64(i % 10), D: uint64(i % 7), W: 1, T: int64(i)})
+	}
+	if s.SpaceBytes() <= before {
+		t.Error("checkpoints not reflected in space accounting")
+	}
+	if s.Name() != "PGSS" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,261 @@
+// Package server exposes a HIGGS summary over HTTP as a small query
+// service: stream items are POSTed in, TRQ primitives are GETs, and the
+// snapshot codec is wired to download/upload endpoints so a summary can be
+// moved between processes. cmd/higgsd is the thin binary around it.
+//
+// The service serializes access: mutations take a write lock, queries a
+// read lock (a Summary is single-writer; see package core).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"higgs/internal/core"
+	"higgs/internal/stream"
+)
+
+// Edge is the JSON representation of one stream item.
+type Edge struct {
+	S uint64 `json:"s"`
+	D uint64 `json:"d"`
+	W int64  `json:"w"`
+	T int64  `json:"t"`
+}
+
+// Server wraps a HIGGS summary with an HTTP API.
+type Server struct {
+	mu  sync.RWMutex
+	sum *core.Summary
+}
+
+// New returns a server over the given summary.
+func New(sum *core.Summary) *Server { return &Server{sum: sum} }
+
+// Handler returns the HTTP handler implementing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/insert", s.handleInsert)
+	mux.HandleFunc("/v1/delete", s.handleDelete)
+	mux.HandleFunc("/v1/edge", s.handleEdge)
+	mux.HandleFunc("/v1/vertex", s.handleVertex)
+	mux.HandleFunc("/v1/path", s.handlePath)
+	mux.HandleFunc("/v1/subgraph", s.handleSubgraph)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing sensible left to do.
+		return
+	}
+}
+
+// handleInsert accepts a JSON array of edges.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	edges, err := decodeEdges(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	s.mu.Lock()
+	for _, e := range edges {
+		s.sum.Insert(stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T})
+	}
+	s.mu.Unlock()
+	writeJSON(w, map[string]int{"inserted": len(edges)})
+}
+
+func decodeEdges(r *http.Request) ([]Edge, error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var batch []Edge
+	if err := dec.Decode(&batch); err != nil {
+		return nil, fmt.Errorf("body must be a JSON array of edges: %w", err)
+	}
+	return batch, nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var e Edge
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	s.mu.Lock()
+	ok := s.sum.Delete(stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T})
+	s.mu.Unlock()
+	writeJSON(w, map[string]bool{"deleted": ok})
+}
+
+// queryRange parses the ts/te query parameters.
+func queryRange(r *http.Request) (ts, te int64, err error) {
+	ts, err = strconv.ParseInt(r.URL.Query().Get("ts"), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ts: %w", err)
+	}
+	te, err = strconv.ParseInt(r.URL.Query().Get("te"), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("te: %w", err)
+	}
+	return ts, te, nil
+}
+
+func queryU64(r *http.Request, key string) (uint64, error) {
+	v, err := strconv.ParseUint(r.URL.Query().Get(key), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", key, err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	sv, err1 := queryU64(r, "s")
+	dv, err2 := queryU64(r, "d")
+	ts, te, err3 := queryRange(r)
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	s.mu.RLock()
+	weight := s.sum.EdgeWeight(sv, dv, ts, te)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]int64{"weight": weight})
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	v, err1 := queryU64(r, "v")
+	ts, te, err2 := queryRange(r)
+	for _, err := range []error{err1, err2} {
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	dir := r.URL.Query().Get("dir")
+	s.mu.RLock()
+	var weight int64
+	switch dir {
+	case "", "out":
+		weight = s.sum.VertexOut(v, ts, te)
+	case "in":
+		weight = s.sum.VertexIn(v, ts, te)
+	default:
+		s.mu.RUnlock()
+		httpError(w, http.StatusBadRequest, "dir must be \"out\" or \"in\"")
+		return
+	}
+	s.mu.RUnlock()
+	writeJSON(w, map[string]int64{"weight": weight})
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	ts, te, err := queryRange(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	parts := strings.Split(r.URL.Query().Get("v"), ",")
+	if len(parts) < 2 {
+		httpError(w, http.StatusBadRequest, "v must list ≥ 2 comma-separated vertices")
+		return
+	}
+	path := make([]uint64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "v[%d]: %v", i, err)
+			return
+		}
+		path[i] = v
+	}
+	s.mu.RLock()
+	weight := s.sum.PathWeight(path, ts, te)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]int64{"weight": weight})
+}
+
+// subgraphRequest is the POST body of /v1/subgraph.
+type subgraphRequest struct {
+	Edges [][2]uint64 `json:"edges"`
+	Ts    int64       `json:"ts"`
+	Te    int64       `json:"te"`
+}
+
+func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req subgraphRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	s.mu.RLock()
+	weight := s.sum.SubgraphWeight(req.Edges, req.Ts, req.Te)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]int64{"weight": weight})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	st := s.sum.Stats()
+	s.mu.RUnlock()
+	writeJSON(w, st)
+}
+
+// handleSnapshot serves the binary snapshot on GET and replaces the
+// summary from an uploaded snapshot on POST.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		s.mu.Lock() // WriteTo seals pending aggregates
+		_, err := s.sum.WriteTo(w)
+		s.mu.Unlock()
+		if err != nil {
+			// Headers are gone; the truncated body signals failure.
+			return
+		}
+	case http.MethodPost:
+		loaded, err := core.Read(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "snapshot: %v", err)
+			return
+		}
+		s.mu.Lock()
+		old := s.sum
+		s.sum = loaded
+		s.mu.Unlock()
+		old.Close()
+		writeJSON(w, map[string]any{"loaded": true, "items": loaded.Items()})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}

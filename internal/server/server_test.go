@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"higgs/internal/core"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	sum, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sum)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func seed(t *testing.T, base string) {
+	t.Helper()
+	resp := post(t, base+"/v1/insert",
+		`[{"s":1,"d":2,"w":3,"t":10},{"s":1,"d":2,"w":4,"t":20},{"s":2,"d":3,"w":5,"t":30}]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	if got := decode[map[string]int](t, resp); got["inserted"] != 3 {
+		t.Fatalf("inserted = %v", got)
+	}
+}
+
+func TestInsertAndEdgeQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	resp := get(t, ts.URL+"/v1/edge?s=1&d=2&ts=0&te=15")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 3 {
+		t.Fatalf("weight = %v, want 3", got)
+	}
+	resp = get(t, ts.URL+"/v1/edge?s=1&d=2&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 7 {
+		t.Fatalf("weight = %v, want 7", got)
+	}
+}
+
+func TestVertexQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	resp := get(t, ts.URL+"/v1/vertex?v=1&dir=out&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 7 {
+		t.Fatalf("out = %v, want 7", got)
+	}
+	resp = get(t, ts.URL+"/v1/vertex?v=3&dir=in&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 5 {
+		t.Fatalf("in = %v, want 5", got)
+	}
+	// Default direction is out.
+	resp = get(t, ts.URL+"/v1/vertex?v=2&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 5 {
+		t.Fatalf("default out = %v, want 5", got)
+	}
+}
+
+func TestPathAndSubgraph(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	resp := get(t, ts.URL+"/v1/path?v=1,2,3&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 12 {
+		t.Fatalf("path = %v, want 12", got)
+	}
+	resp = post(t, ts.URL+"/v1/subgraph", `{"edges":[[1,2],[2,3]],"ts":0,"te":100}`)
+	if got := decode[map[string]int64](t, resp); got["weight"] != 12 {
+		t.Fatalf("subgraph = %v, want 12", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	resp := post(t, ts.URL+"/v1/delete", `{"s":1,"d":2,"w":3,"t":10}`)
+	if got := decode[map[string]bool](t, resp); !got["deleted"] {
+		t.Fatalf("delete = %v", got)
+	}
+	resp = get(t, ts.URL+"/v1/edge?s=1&d=2&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 4 {
+		t.Fatalf("after delete = %v, want 4", got)
+	}
+	// Deleting something that was never inserted reports false.
+	resp = post(t, ts.URL+"/v1/delete", `{"s":9,"d":9,"w":1,"t":10}`)
+	if got := decode[map[string]bool](t, resp); got["deleted"] {
+		t.Fatalf("phantom delete = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	resp := get(t, ts.URL+"/v1/stats")
+	st := decode[core.Stats](t, resp)
+	if st.Items != 3 {
+		t.Fatalf("stats items = %d", st.Items)
+	}
+}
+
+func TestSnapshotRoundTripOverHTTP(t *testing.T) {
+	_, ts1 := newTestServer(t)
+	seed(t, ts1.URL)
+	resp := get(t, ts1.URL+"/v1/snapshot")
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("empty snapshot")
+	}
+
+	_, ts2 := newTestServer(t)
+	resp2, err := http.Post(ts2.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("snapshot upload status %d: %s", resp2.StatusCode, body)
+	}
+	resp2.Body.Close()
+	resp3 := get(t, ts2.URL+"/v1/edge?s=1&d=2&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp3); got["weight"] != 7 {
+		t.Fatalf("restored weight = %v, want 7", got)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"GET", "/v1/insert", "", http.StatusMethodNotAllowed},
+		{"POST", "/v1/insert", `{"not":"an array"}`, http.StatusBadRequest},
+		{"POST", "/v1/insert", `garbage`, http.StatusBadRequest},
+		{"GET", "/v1/edge?s=x&d=2&ts=0&te=1", "", http.StatusBadRequest},
+		{"GET", "/v1/edge?s=1&d=2&ts=zz&te=1", "", http.StatusBadRequest},
+		{"GET", "/v1/vertex?v=1&dir=sideways&ts=0&te=1", "", http.StatusBadRequest},
+		{"GET", "/v1/path?v=1&ts=0&te=1", "", http.StatusBadRequest},
+		{"GET", "/v1/path?v=1,zebra&ts=0&te=1", "", http.StatusBadRequest},
+		{"GET", "/v1/subgraph", "", http.StatusMethodNotAllowed},
+		{"POST", "/v1/subgraph", `{"edges":"no"}`, http.StatusBadRequest},
+		{"POST", "/v1/snapshot", "not a snapshot", http.StatusBadRequest},
+		{"PUT", "/v1/snapshot", "", http.StatusMethodNotAllowed},
+		{"GET", "/v1/delete", "", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	done := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		go func(i int) {
+			url := fmt.Sprintf("%s/v1/edge?s=1&d=2&ts=0&te=%d", ts.URL, 100+i)
+			resp, err := http.Get(url)
+			if err == nil {
+				resp.Body.Close()
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary text to the edge-list reader; it must parse or
+// reject without panicking, and whatever parses must round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("1 2 3 4\n5 6 7 8\n")
+	f.Add("% comment\n1 2\n")
+	f.Add("1 2 3\n")
+	f.Add("")
+	f.Add("18446744073709551615 0 1 1\n")
+	f.Add("1 2 -3 4\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("write-back of parsed stream failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip length %d != %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("edge %d mutated in round trip", i)
+			}
+		}
+	})
+}

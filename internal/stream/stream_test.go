@@ -1,0 +1,385 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Nodes: 10, Edges: 100, Span: 1000, Skew: 2.0}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Nodes: 1, Edges: 100, Span: 1000, Skew: 2},
+		{Nodes: 10, Edges: 0, Span: 1000, Skew: 2},
+		{Nodes: 10, Edges: 100, Span: 0, Skew: 2},
+		{Nodes: 10, Edges: 100, Span: 1000, Skew: 1.0},
+		{Nodes: 10, Edges: 100, Span: 1000, Skew: 2, Variance: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	s, err := Generate(Config{Nodes: 100, Edges: 5000, Span: 100000, Skew: 2.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 5000 {
+		t.Fatalf("got %d edges, want 5000", len(s))
+	}
+	if !s.Sorted() {
+		t.Fatal("stream not sorted by time")
+	}
+	for i, e := range s {
+		if e.S >= 100 || e.D >= 100 {
+			t.Fatalf("edge %d out of vertex universe: %+v", i, e)
+		}
+		if e.S == e.D {
+			t.Fatalf("edge %d is a self loop: %+v", i, e)
+		}
+		if e.T < 0 || e.T >= 100000 {
+			t.Fatalf("edge %d timestamp out of span: %+v", i, e)
+		}
+		if e.W != 1 {
+			t.Fatalf("edge %d weight = %d, want 1", i, e.W)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := Config{Nodes: 50, Edges: 1000, Span: 5000, Skew: 2.0, Seed: 7}
+	a, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c.Seed = 8
+	d, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == d[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("Generate with zero config should fail")
+	}
+}
+
+// TestGeneratePowerLaw checks the skew knob follows the degree-exponent
+// convention: a smaller power-law exponent means a heavier tail, so the
+// hottest vertex carries a larger share of the stream.
+func TestGeneratePowerLaw(t *testing.T) {
+	top := func(skew float64) float64 {
+		s, err := Generate(Config{Nodes: 1000, Edges: 20000, Span: 100000, Skew: skew, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[uint64]int{}
+		for _, e := range s {
+			counts[e.S]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(best) / float64(len(s))
+	}
+	heavy, light := top(1.5), top(2.8)
+	if heavy <= light {
+		t.Fatalf("hot vertex share should shrink as the exponent grows: %g (1.5) vs %g (2.8)", heavy, light)
+	}
+}
+
+// TestGenerateCoversUniverse: with realistic exponents most of the vertex
+// universe participates, as in the KONECT datasets (every listed node has
+// at least one edge).
+func TestGenerateCoversUniverse(t *testing.T) {
+	s, err := Generate(Config{Nodes: 2000, Edges: 40000, Span: 100000, Skew: 2.0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range s {
+		seen[e.S] = true
+		seen[e.D] = true
+	}
+	if got := float64(len(seen)) / 2000; got < 0.5 {
+		t.Fatalf("only %.0f%% of the universe participates; sampler too concentrated", got*100)
+	}
+}
+
+// TestGenerateVariance checks the variance knob widens per-slice counts.
+func TestGenerateVariance(t *testing.T) {
+	sliceVar := func(variance float64) float64 {
+		s, err := Generate(Config{Nodes: 200, Edges: 50000, Span: 100000, Skew: 2,
+			Variance: variance, Slices: 100, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]float64, 100)
+		for _, e := range s {
+			idx := int(e.T * 100 / 100000)
+			if idx >= 100 {
+				idx = 99
+			}
+			counts[idx]++
+		}
+		var mean, v float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= 100
+		for _, c := range counts {
+			v += (c - mean) * (c - mean)
+		}
+		return v / 100
+	}
+	lo, hi := sliceVar(0), sliceVar(400)
+	if hi <= lo*1.5 {
+		t.Fatalf("variance knob ineffective: var(0) = %g, var(400) = %g", lo, hi)
+	}
+}
+
+func TestSliceCountsConservation(t *testing.T) {
+	for _, total := range []int{0, 1, 17, 1000, 99999} {
+		s, err := Generate(Config{Nodes: 10, Edges: max(total, 1), Span: 1000, Skew: 2, Variance: 300, Slices: 37, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) != max(total, 1) {
+			t.Fatalf("total=%d: generated %d edges", total, len(s))
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Stream{
+		{S: 1, D: 2, W: 1, T: 10},
+		{S: 1, D: 3, W: 2, T: 20},
+		{S: 1, D: 2, W: 1, T: 30},
+		{S: 2, D: 1, W: 5, T: 40},
+	}
+	st := Summarize(s)
+	if st.Nodes != 3 {
+		t.Errorf("Nodes = %d, want 3", st.Nodes)
+	}
+	if st.Edges != 4 {
+		t.Errorf("Edges = %d, want 4", st.Edges)
+	}
+	if st.DistinctEdges != 3 {
+		t.Errorf("DistinctEdges = %d, want 3", st.DistinctEdges)
+	}
+	if st.MaxOutDegree != 2 {
+		t.Errorf("MaxOutDegree = %d, want 2", st.MaxOutDegree)
+	}
+	if st.MaxInDegree != 1 {
+		t.Errorf("MaxInDegree = %d, want 1", st.MaxInDegree)
+	}
+	if st.TotalWeight != 9 {
+		t.Errorf("TotalWeight = %d, want 9", st.TotalWeight)
+	}
+	if st.Span() != 30 {
+		t.Errorf("Span = %d, want 30", st.Span())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.Nodes != 0 || st.Edges != 0 || st.Span() != 0 {
+		t.Errorf("empty stats not zero: %+v", st)
+	}
+}
+
+func TestSortAndSpan(t *testing.T) {
+	s := Stream{{T: 30}, {T: 10}, {T: 20}}
+	if s.Sorted() {
+		t.Fatal("unsorted stream reported sorted")
+	}
+	s.SortByTime()
+	if !s.Sorted() {
+		t.Fatal("SortByTime did not sort")
+	}
+	f, l := s.Span()
+	if f != 10 || l != 30 {
+		t.Fatalf("Span = (%d, %d), want (10, 30)", f, l)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Generate(Config{Nodes: 20, Edges: 500, Span: 1000, Skew: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("edge %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	in := "% KONECT header\n# comment\n1 2 3 4\n"
+	s, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 || s[0] != (Edge{1, 2, 3, 4}) {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not an edge line\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("1\n")); err == nil {
+		t.Fatal("single-column line accepted")
+	}
+	if _, err := Read(strings.NewReader("1 2 3 4 5\n")); err == nil {
+		t.Fatal("five-column line accepted")
+	}
+	if _, err := Read(strings.NewReader("1 2 3 4\n1 2\n")); err == nil {
+		t.Fatal("inconsistent column count accepted")
+	}
+	if _, err := Read(strings.NewReader("1 2 x 4\n")); err == nil {
+		t.Fatal("non-numeric weight accepted")
+	}
+}
+
+func TestReadKonectVariants(t *testing.T) {
+	// Two-column: weight defaults to 1, timestamps to arrival order.
+	s, err := Read(strings.NewReader("1 2\n3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s[0] != (Edge{1, 2, 1, 0}) || s[1] != (Edge{3, 4, 1, 1}) {
+		t.Fatalf("two-column parse: %+v", s)
+	}
+	// Three-column: explicit weight.
+	s, err = Read(strings.NewReader("1 2 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != (Edge{1, 2, 7, 0}) {
+		t.Fatalf("three-column parse: %+v", s[0])
+	}
+	// Tabs and extra whitespace are fine.
+	s, err = Read(strings.NewReader("  1\t2\t3\t4  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != (Edge{1, 2, 3, 4}) {
+		t.Fatalf("whitespace parse: %+v", s[0])
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, p := range Presets {
+		s, err := Load(p, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(s) == 0 {
+			t.Fatalf("%s: empty stream", p)
+		}
+		if !s.Sorted() {
+			t.Fatalf("%s: not sorted", p)
+		}
+	}
+	if _, err := Load(Preset("nope"), 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := Load(Lkml, 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestSkewedAndBursty(t *testing.T) {
+	s, err := Skewed(2.4, 1000, 5000, 1)
+	if err != nil || len(s) != 5000 {
+		t.Fatalf("Skewed: %v len=%d", err, len(s))
+	}
+	b, err := Bursty(1200, 1000, 5000, 1)
+	if err != nil || len(b) != 5000 {
+		t.Fatalf("Bursty: %v len=%d", err, len(b))
+	}
+}
+
+// TestPresetSkewShape verifies the degree distribution is heavy-tailed:
+// the top 1% of vertices should carry a disproportionate share of edges.
+func TestPresetSkewShape(t *testing.T) {
+	s, err := Load(Lkml, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := map[uint64]int{}
+	for _, e := range s {
+		deg[e.S]++
+	}
+	ds := make([]int, 0, len(deg))
+	for _, d := range deg {
+		ds = append(ds, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	topN := int(math.Ceil(float64(len(ds)) * 0.01))
+	topSum := 0
+	for i := 0; i < topN; i++ {
+		topSum += ds[i]
+	}
+	share := float64(topSum) / float64(len(s))
+	if share < 0.10 {
+		t.Fatalf("top 1%% of sources carries only %.1f%% of edges; expected heavy tail", share*100)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	c := Config{Nodes: 10000, Edges: 100000, Span: 1_000_000, Skew: 2.0, Variance: 900, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package tcm implements TCM (Tang, Chen, Mitra — SIGMOD 2016), the first
+// graph stream sketch in the paper's lineage (Fig. 4): g independent d×d
+// counter matrices, each with its own hash function mapping source vertices
+// to rows and destinations to columns. Queries return the minimum across
+// matrices. TCM carries no fingerprints, so distinct edges colliding in
+// every matrix are indistinguishable — the accuracy weakness GSS and its
+// descendants address.
+//
+// TCM summarizes the whole stream without temporal information; it is the
+// substrate PGSS extends with persistence (package pgss).
+package tcm
+
+import (
+	"fmt"
+	"math"
+
+	"higgs/internal/hashing"
+	"higgs/internal/stream"
+)
+
+// Config sizes a TCM sketch.
+type Config struct {
+	Matrices int    // number of independent matrices (g); ≥ 1
+	D        uint32 // matrix dimension; ≥ 1
+	Seed     uint64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Matrices < 1 {
+		return fmt.Errorf("tcm: Matrices = %d, need ≥ 1", c.Matrices)
+	}
+	if c.D < 1 {
+		return fmt.Errorf("tcm: D = %d, need ≥ 1", c.D)
+	}
+	return nil
+}
+
+// Sketch is a TCM graph sketch.
+type Sketch struct {
+	cfg     Config
+	mats    [][]int64 // g matrices of d×d counters
+	hashers []hashing.Hasher
+	items   int64
+}
+
+// New returns an empty TCM sketch.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{cfg: cfg, mats: make([][]int64, cfg.Matrices), hashers: make([]hashing.Hasher, cfg.Matrices)}
+	for i := range s.mats {
+		s.mats[i] = make([]int64, int(cfg.D)*int(cfg.D))
+		s.hashers[i] = hashing.NewHasher(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return s, nil
+}
+
+// Name identifies the structure in benchmark output.
+func (s *Sketch) Name() string { return "TCM" }
+
+// Insert adds one stream item (the timestamp is ignored; TCM is
+// non-temporal).
+func (s *Sketch) Insert(e stream.Edge) {
+	s.AddHashed(e.S, e.D, e.W)
+	s.items++
+}
+
+// AddHashed adds weight w for the edge identified by raw vertex keys.
+func (s *Sketch) AddHashed(sv, dv uint64, w int64) {
+	d := uint64(s.cfg.D)
+	for i := range s.mats {
+		hs := s.hashers[i].Hash(sv) % d
+		hd := s.hashers[i].Hash(dv) % d
+		s.mats[i][hs*d+hd] += w
+	}
+}
+
+// Delete removes one previously inserted item by decrementing its counters.
+func (s *Sketch) Delete(e stream.Edge) bool {
+	s.AddHashed(e.S, e.D, -e.W)
+	s.items--
+	return true
+}
+
+// EdgeWeightAll estimates the whole-stream aggregated weight of edge s→d:
+// the minimum of the hashed counters across matrices.
+func (s *Sketch) EdgeWeightAll(sv, dv uint64) int64 {
+	d := uint64(s.cfg.D)
+	min := int64(math.MaxInt64)
+	for i := range s.mats {
+		hs := s.hashers[i].Hash(sv) % d
+		hd := s.hashers[i].Hash(dv) % d
+		if c := s.mats[i][hs*d+hd]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// VertexOutAll estimates the whole-stream out-weight of v: the minimum row
+// sum across matrices.
+func (s *Sketch) VertexOutAll(v uint64) int64 {
+	d := uint64(s.cfg.D)
+	min := int64(math.MaxInt64)
+	for i := range s.mats {
+		hs := s.hashers[i].Hash(v) % d
+		var sum int64
+		row := s.mats[i][hs*d : hs*d+d]
+		for _, c := range row {
+			sum += c
+		}
+		if sum < min {
+			min = sum
+		}
+	}
+	return min
+}
+
+// VertexInAll estimates the whole-stream in-weight of v: the minimum column
+// sum across matrices.
+func (s *Sketch) VertexInAll(v uint64) int64 {
+	d := uint64(s.cfg.D)
+	min := int64(math.MaxInt64)
+	for i := range s.mats {
+		hd := s.hashers[i].Hash(v) % d
+		var sum int64
+		for r := uint64(0); r < d; r++ {
+			sum += s.mats[i][r*d+hd]
+		}
+		if sum < min {
+			min = sum
+		}
+	}
+	return min
+}
+
+// Items returns the number of inserted items.
+func (s *Sketch) Items() int64 { return s.items }
+
+// SpaceBytes returns the packed size: every counter at 64 bits.
+func (s *Sketch) SpaceBytes() int64 {
+	return int64(s.cfg.Matrices) * int64(s.cfg.D) * int64(s.cfg.D) * 8
+}

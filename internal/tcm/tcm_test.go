@@ -1,0 +1,116 @@
+package tcm
+
+import (
+	"math/rand"
+	"testing"
+
+	"higgs/internal/exact"
+	"higgs/internal/stream"
+)
+
+func build(t *testing.T, d uint32, g int) *Sketch {
+	t.Helper()
+	s, err := New(Config{Matrices: g, D: d, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Matrices: 0, D: 16}); err == nil {
+		t.Error("Matrices=0 accepted")
+	}
+	if _, err := New(Config{Matrices: 2, D: 0}); err == nil {
+		t.Error("D=0 accepted")
+	}
+}
+
+func TestEdgeAndVertexQueries(t *testing.T) {
+	s := build(t, 256, 3)
+	s.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 0})
+	s.Insert(stream.Edge{S: 1, D: 2, W: 2, T: 1})
+	s.Insert(stream.Edge{S: 1, D: 5, W: 4, T: 2})
+	s.Insert(stream.Edge{S: 9, D: 2, W: 7, T: 3})
+	if got := s.EdgeWeightAll(1, 2); got != 5 {
+		t.Errorf("edge (1,2) = %d, want 5", got)
+	}
+	if got := s.VertexOutAll(1); got != 9 {
+		t.Errorf("out(1) = %d, want 9", got)
+	}
+	if got := s.VertexInAll(2); got != 12 {
+		t.Errorf("in(2) = %d, want 12", got)
+	}
+	if s.Items() != 4 {
+		t.Errorf("Items = %d", s.Items())
+	}
+}
+
+func TestOneSidedVsExact(t *testing.T) {
+	st, err := stream.Generate(stream.Config{Nodes: 500, Edges: 20000, Span: 10000, Skew: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.FromStream(st)
+	s := build(t, 512, 3)
+	for _, e := range st {
+		s.Insert(e)
+	}
+	first, last := truth.Span()
+	for v := uint64(0); v < 500; v += 13 {
+		if got, want := s.VertexOutAll(v), truth.VertexOut(v, first, last); got < want {
+			t.Fatalf("out(%d) = %d < truth %d", v, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		sv, dv := uint64(rng.Intn(500)), uint64(rng.Intn(500))
+		if got, want := s.EdgeWeightAll(sv, dv), truth.EdgeWeight(sv, dv, first, last); got < want {
+			t.Fatalf("edge (%d,%d) = %d < truth %d", sv, dv, got, want)
+		}
+	}
+}
+
+// TestCollisionError: TCM without fingerprints must show collision error on
+// tiny matrices — the weakness GSS addresses.
+func TestCollisionError(t *testing.T) {
+	s := build(t, 4, 1)
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(stream.Edge{S: i, D: i + 1000, W: 1})
+	}
+	var overcount int64
+	for i := uint64(0); i < 100; i++ {
+		overcount += s.EdgeWeightAll(i, i+1000) - 1
+	}
+	if overcount == 0 {
+		t.Fatal("expected collision overcount on a 4×4 TCM")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := build(t, 256, 2)
+	e := stream.Edge{S: 3, D: 4, W: 5}
+	s.Insert(e)
+	if !s.Delete(e) {
+		t.Fatal("delete failed")
+	}
+	if got := s.EdgeWeightAll(3, 4); got != 0 {
+		t.Errorf("after delete = %d, want 0", got)
+	}
+	if s.Items() != 0 {
+		t.Errorf("Items = %d, want 0", s.Items())
+	}
+}
+
+func TestSpaceBytes(t *testing.T) {
+	s := build(t, 64, 3)
+	if got := s.SpaceBytes(); got != 3*64*64*8 {
+		t.Errorf("SpaceBytes = %d", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if build(t, 4, 1).Name() != "TCM" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,160 @@
+package trq
+
+import (
+	"math/rand"
+	"sort"
+
+	"higgs/internal/exact"
+)
+
+// EdgeQuery asks for the weight of edge S→D in [Ts, Te].
+type EdgeQuery struct {
+	S, D   uint64
+	Ts, Te int64
+}
+
+// VertexQuery asks for the out- (or in-) weight of V in [Ts, Te].
+type VertexQuery struct {
+	V      uint64
+	Out    bool
+	Ts, Te int64
+}
+
+// PathQuery asks for the summed edge weights along Path in [Ts, Te].
+type PathQuery struct {
+	Path   []uint64
+	Ts, Te int64
+}
+
+// SubgraphQuery asks for the summed weights of Edges in [Ts, Te].
+type SubgraphQuery struct {
+	Edges  [][2]uint64
+	Ts, Te int64
+}
+
+// Workload generates randomized query sets against a ground-truth store,
+// following the paper's experimental setup (§VI-A): query subjects are
+// sampled from the stream, and temporal windows of length Lq are placed
+// uniformly inside the stream's lifetime.
+type Workload struct {
+	store    *exact.Store
+	rng      *rand.Rand
+	vertices []uint64
+	edges    [][2]uint64
+	first    int64
+	last     int64
+}
+
+// NewWorkload builds a generator over the given ground truth. Generated
+// workloads are deterministic per seed: the sampled universes are sorted
+// before sampling to cancel map iteration order.
+func NewWorkload(store *exact.Store, seed int64) *Workload {
+	first, last := store.Span()
+	vertices := store.Vertices()
+	sort.Slice(vertices, func(i, j int) bool { return vertices[i] < vertices[j] })
+	edges := store.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return &Workload{
+		store:    store,
+		rng:      rand.New(rand.NewSource(seed)),
+		vertices: vertices,
+		edges:    edges,
+		first:    first,
+		last:     last,
+	}
+}
+
+// window places a range of length lq uniformly inside the stream lifetime;
+// lq longer than the lifetime yields the full lifetime.
+func (w *Workload) window(lq int64) (ts, te int64) {
+	span := w.last - w.first + 1
+	if lq >= span {
+		return w.first, w.last
+	}
+	ts = w.first + w.rng.Int63n(span-lq+1)
+	return ts, ts + lq - 1
+}
+
+// EdgeQueries samples n edge queries with windows of length lq.
+func (w *Workload) EdgeQueries(n int, lq int64) []EdgeQuery {
+	out := make([]EdgeQuery, n)
+	for i := range out {
+		e := w.edges[w.rng.Intn(len(w.edges))]
+		ts, te := w.window(lq)
+		out[i] = EdgeQuery{S: e[0], D: e[1], Ts: ts, Te: te}
+	}
+	return out
+}
+
+// VertexQueries samples n vertex queries (alternating out/in) with windows
+// of length lq.
+func (w *Workload) VertexQueries(n int, lq int64) []VertexQuery {
+	out := make([]VertexQuery, n)
+	for i := range out {
+		v := w.vertices[w.rng.Intn(len(w.vertices))]
+		ts, te := w.window(lq)
+		out[i] = VertexQuery{V: v, Out: i%2 == 0, Ts: ts, Te: te}
+	}
+	return out
+}
+
+// PathQueries samples n paths of the given hop count (edges per path) by
+// random walks over the stream's distinct-edge graph, with windows of
+// length lq. Walks that dead-end are restarted; if the graph cannot supply
+// a full-length walk the path is truncated.
+func (w *Workload) PathQueries(n, hops int, lq int64) []PathQuery {
+	out := make([]PathQuery, n)
+	for i := range out {
+		path := w.randomWalk(hops)
+		ts, te := w.window(lq)
+		out[i] = PathQuery{Path: path, Ts: ts, Te: te}
+	}
+	return out
+}
+
+func (w *Workload) randomWalk(hops int) []uint64 {
+	for attempt := 0; attempt < 8; attempt++ {
+		v := w.vertices[w.rng.Intn(len(w.vertices))]
+		path := make([]uint64, 0, hops+1)
+		path = append(path, v)
+		for len(path) <= hops {
+			ns := w.store.OutNeighbors(path[len(path)-1])
+			if len(ns) == 0 {
+				break
+			}
+			path = append(path, ns[w.rng.Intn(len(ns))])
+		}
+		if len(path) == hops+1 {
+			return path
+		}
+	}
+	// Fall back to a stitched pseudo-path of sampled edges.
+	path := make([]uint64, 0, hops+1)
+	e := w.edges[w.rng.Intn(len(w.edges))]
+	path = append(path, e[0], e[1])
+	for len(path) <= hops {
+		e := w.edges[w.rng.Intn(len(w.edges))]
+		path = append(path, e[1])
+	}
+	return path
+}
+
+// SubgraphQueries samples n subgraphs of the given edge count, with windows
+// of length lq.
+func (w *Workload) SubgraphQueries(n, size int, lq int64) []SubgraphQuery {
+	out := make([]SubgraphQuery, n)
+	for i := range out {
+		edges := make([][2]uint64, size)
+		for j := range edges {
+			edges[j] = w.edges[w.rng.Intn(len(w.edges))]
+		}
+		ts, te := w.window(lq)
+		out[i] = SubgraphQuery{Edges: edges, Ts: ts, Te: te}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(0)
+	w.U64(math.MaxUint64)
+	w.U32(42)
+	w.Int(123456)
+	w.I64(-1)
+	w.I64(math.MinInt64)
+	w.I64(math.MaxInt64)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte("snapshot"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if r.U64() != 0 || r.U64() != math.MaxUint64 {
+		t.Fatal("u64 round trip failed")
+	}
+	if r.U32() != 42 || r.Int() != 123456 {
+		t.Fatal("u32/int round trip failed")
+	}
+	if r.I64() != -1 || r.I64() != math.MinInt64 || r.I64() != math.MaxInt64 {
+		t.Fatal("i64 round trip failed")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if string(r.Bytes(100)) != "snapshot" {
+		t.Fatal("bytes round trip failed")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(v int64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.I64(v)
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		return r.I64() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	// Underlying write failures surface at (or before) Flush and stick.
+	w := NewWriter(failingWriter{})
+	w.U64(1)
+	if w.Flush() == nil {
+		t.Fatal("flush did not surface the write error")
+	}
+	if w.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+	w.U64(2) // must be a no-op after the error
+	w.I64(-5)
+	if w.Flush() == nil {
+		t.Fatal("flush should keep returning the sticky error")
+	}
+
+	w2 := NewWriter(&bytes.Buffer{})
+	w2.Int(-1)
+	if w2.Err() == nil {
+		t.Fatal("negative int accepted")
+	}
+}
+
+func TestReaderGuards(t *testing.T) {
+	// Truncated input.
+	r := NewReader(strings.NewReader(""))
+	r.U64()
+	if r.Err() == nil {
+		t.Fatal("EOF not recorded")
+	}
+
+	// U32 overflow.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1 << 40)
+	w.Flush()
+	r = NewReader(&buf)
+	r.U32()
+	if r.Err() == nil {
+		t.Fatal("u32 overflow accepted")
+	}
+
+	// Invalid bool.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.U64(7)
+	w.Flush()
+	r = NewReader(&buf)
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool=7 accepted")
+	}
+
+	// Oversized byte string.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.Bytes(make([]byte, 100))
+	w.Flush()
+	r = NewReader(&buf)
+	r.Bytes(10)
+	if r.Err() == nil {
+		t.Fatal("oversized bytes accepted")
+	}
+}
+
+func TestExpect(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(0xCAFE)
+	w.Flush()
+	r := NewReader(&buf)
+	r.Expect(0xCAFE, "magic")
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.U64(1)
+	w.Flush()
+	r = NewReader(&buf)
+	r.Expect(2, "version")
+	if r.Err() == nil {
+		t.Fatal("mismatched expect accepted")
+	}
+}
+
+func TestWritten(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(300) // 2-byte varint
+	w.Flush()
+	if w.Written() != 2 || buf.Len() != 2 {
+		t.Fatalf("Written = %d, buffer = %d", w.Written(), buf.Len())
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &failError{}
+
+type failError struct{}
+
+func (*failError) Error() string { return "injected failure" }
