@@ -1,8 +1,12 @@
-// Command higgsd serves a HIGGS summary over HTTP — a minimal graph stream
-// summarization service.
+// Command higgsd serves a sharded HIGGS summary over HTTP — a minimal
+// graph stream summarization service.
 //
 //	higgsd -addr :8080
-//	higgsd -addr :8080 -load summary.higgs -save summary.higgs
+//	higgsd -addr :8080 -shards 8 -load summary.higgs -save summary.higgs
+//
+// The summary is hash-partitioned by source vertex across -shards
+// independent HIGGS trees (0 = one per CPU), so concurrent inserts and
+// queries touching different shards never contend; see internal/shard.
 //
 // API (see internal/server):
 //
@@ -14,6 +18,9 @@
 //	POST /v1/subgraph  {"edges":[[1,2],[2,3]],"ts":0,"te":200}
 //	GET  /v1/stats
 //	GET  /v1/snapshot  (binary download)   POST /v1/snapshot (restore)
+//
+// Snapshots are written in the sharded framing; -load also accepts legacy
+// unsharded snapshots, which come up as a single shard.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and, if -save
 // is set, writes a snapshot before exiting.
@@ -27,22 +34,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
-	"higgs/internal/core"
 	"higgs/internal/server"
+	"higgs/internal/shard"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		load = flag.String("load", "", "snapshot file to restore at startup")
-		save = flag.String("save", "", "snapshot file to write on shutdown")
+		addr   = flag.String("addr", ":8080", "listen address")
+		shards = flag.Int("shards", 0, "summary shard count (0 = one per CPU)")
+		load   = flag.String("load", "", "snapshot file to restore at startup")
+		save   = flag.String("save", "", "snapshot file to write on shutdown")
 	)
 	flag.Parse()
 
-	sum, err := buildSummary(*load)
+	sum, err := buildSummary(*load, *shards)
 	if err != nil {
 		log.Fatalf("higgsd: %v", err)
 	}
@@ -50,7 +59,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	go func() {
-		log.Printf("higgsd: listening on %s (items=%d)", *addr, sum.Items())
+		log.Printf("higgsd: listening on %s (shards=%d items=%d)",
+			*addr, sum.NumShards(), sum.Items())
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("higgsd: %v", err)
 		}
@@ -66,30 +76,42 @@ func main() {
 		log.Printf("higgsd: shutdown: %v", err)
 	}
 	if *save != "" {
-		if err := writeSnapshot(sum, *save); err != nil {
+		if err := writeSnapshot(srv.Summary(), *save); err != nil {
 			log.Fatalf("higgsd: save: %v", err)
 		}
 		log.Printf("higgsd: snapshot saved to %s", *save)
 	}
 }
 
-func buildSummary(load string) (*core.Summary, error) {
-	if load == "" {
-		return core.New(core.DefaultConfig())
+func buildSummary(load string, shards int) (*shard.Summary, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		defer f.Close()
+		sum, err := shard.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", load, err)
+		}
+		// The snapshot fixes the shard count; an explicit conflicting
+		// -shards is a configuration error, not something to silently
+		// repartition (edges cannot move between trees after the fact).
+		if shards > 0 && shards != sum.NumShards() {
+			return nil, fmt.Errorf("load %s: snapshot has %d shards, -shards %d requested",
+				load, sum.NumShards(), shards)
+		}
+		return sum, nil
 	}
-	f, err := os.Open(load)
-	if err != nil {
-		return nil, fmt.Errorf("load: %w", err)
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
 	}
-	defer f.Close()
-	sum, err := core.Read(f)
-	if err != nil {
-		return nil, fmt.Errorf("load %s: %w", load, err)
-	}
-	return sum, nil
+	cfg := shard.DefaultConfig()
+	cfg.Shards = shards
+	return shard.New(cfg)
 }
 
-func writeSnapshot(sum *core.Summary, path string) error {
+func writeSnapshot(sum *shard.Summary, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

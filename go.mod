@@ -1,0 +1,3 @@
+module higgs
+
+go 1.24

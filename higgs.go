@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"higgs/internal/core"
+	"higgs/internal/shard"
 	"higgs/internal/stream"
 )
 
@@ -82,3 +83,29 @@ type StreamConfig = stream.Config
 // Summary.WriteTo. Unless the snapshot was finalized, the loaded summary
 // continues accepting inserts where the original left off.
 func Load(r io.Reader) (*Summary, error) { return core.Read(r) }
+
+// Sharded is a hash-partitioned HIGGS summary: edges are partitioned by
+// source vertex across independent shards, each behind its own lock, so
+// ingest parallelizes and queries fan out concurrently. Unlike Summary, a
+// Sharded is safe for concurrent use by multiple goroutines. See package
+// shard for full method documentation and DESIGN.md §8 for the
+// partitioning model.
+type Sharded = shard.Summary
+
+// ShardedConfig parameterizes a sharded summary: the shard count and the
+// per-shard HIGGS configuration.
+type ShardedConfig = shard.Config
+
+// ShardedStats reports aggregate and per-shard structural statistics.
+type ShardedStats = shard.Stats
+
+// DefaultShardedConfig returns a 4-way sharded version of DefaultConfig.
+func DefaultShardedConfig() ShardedConfig { return shard.DefaultConfig() }
+
+// NewSharded returns an empty sharded summary for the given configuration.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) { return shard.New(cfg) }
+
+// LoadSharded restores a sharded summary from a snapshot previously
+// written with Sharded.WriteTo. It also accepts unsharded snapshots
+// (written by Summary.WriteTo), which load as a one-shard summary.
+func LoadSharded(r io.Reader) (*Sharded, error) { return shard.Read(r) }

@@ -27,6 +27,7 @@ var registry = []Experiment{
 	{"ablation", "Extra: HIGGS design-choice sweeps (θ / b / r)", Ablation},
 	{"budget", "Extra: Horae accuracy vs GSS buffer budget", BufferBudget},
 	{"reverse", "Extra: gMatrix reverse heavy-hitter queries", ReverseQueries},
+	{"sharded", "Extra: sharded ingest scaling (internal/shard)", ShardedIngest},
 }
 
 // Experiments lists all registered experiments in presentation order.

@@ -1,10 +1,12 @@
-// Package server exposes a HIGGS summary over HTTP as a small query
-// service: stream items are POSTed in, TRQ primitives are GETs, and the
-// snapshot codec is wired to download/upload endpoints so a summary can be
-// moved between processes. cmd/higgsd is the thin binary around it.
+// Package server exposes a sharded HIGGS summary over HTTP as a small
+// query service: stream items are POSTed in, TRQ primitives are GETs, and
+// the snapshot codec is wired to download/upload endpoints so a summary can
+// be moved between processes. cmd/higgsd is the thin binary around it.
 //
-// The service serializes access: mutations take a write lock, queries a
-// read lock (a Summary is single-writer; see package core).
+// Concurrency is delegated to package shard: every mutation locks only the
+// shards it touches and queries fan out under per-shard read locks, so
+// requests hitting different shards proceed in parallel — there is no
+// server-global lock (DESIGN.md §8).
 package server
 
 import (
@@ -13,9 +15,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 
-	"higgs/internal/core"
+	"higgs/internal/shard"
 	"higgs/internal/stream"
 )
 
@@ -27,14 +29,27 @@ type Edge struct {
 	T int64  `json:"t"`
 }
 
-// Server wraps a HIGGS summary with an HTTP API.
+// Server wraps a sharded HIGGS summary with an HTTP API. The summary
+// pointer is swapped atomically on snapshot upload, so in-flight requests
+// always see a consistent summary.
 type Server struct {
-	mu  sync.RWMutex
-	sum *core.Summary
+	sum atomic.Pointer[shard.Summary]
 }
 
-// New returns a server over the given summary.
-func New(sum *core.Summary) *Server { return &Server{sum: sum} }
+// New returns a server over the given sharded summary.
+func New(sum *shard.Summary) *Server {
+	s := &Server{}
+	s.sum.Store(sum)
+	return s
+}
+
+// summary returns the current summary.
+func (s *Server) summary() *shard.Summary { return s.sum.Load() }
+
+// Summary returns the summary currently being served. A snapshot upload
+// replaces it, so callers persisting state on shutdown must ask the server
+// rather than hold the pointer they constructed it with.
+func (s *Server) Summary() *shard.Summary { return s.sum.Load() }
 
 // Handler returns the HTTP handler implementing the API.
 func (s *Server) Handler() http.Handler {
@@ -62,7 +77,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// handleInsert accepts a JSON array of edges.
+// handleInsert accepts a JSON array of edges. The batch is grouped by
+// shard, so concurrent inserts to different shards do not contend.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -73,11 +89,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
-	s.mu.Lock()
-	for _, e := range edges {
-		s.sum.Insert(stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T})
+	batch := make([]stream.Edge, len(edges))
+	for i, e := range edges {
+		batch[i] = stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T}
 	}
-	s.mu.Unlock()
+	s.summary().InsertBatch(batch)
 	writeJSON(w, map[string]int{"inserted": len(edges)})
 }
 
@@ -103,13 +119,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
-	s.mu.Lock()
-	ok := s.sum.Delete(stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T})
-	s.mu.Unlock()
+	ok := s.summary().Delete(stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T})
 	writeJSON(w, map[string]bool{"deleted": ok})
 }
 
-// queryRange parses the ts/te query parameters.
+// queryRange parses the ts/te query parameters, rejecting inverted ranges.
 func queryRange(r *http.Request) (ts, te int64, err error) {
 	ts, err = strconv.ParseInt(r.URL.Query().Get("ts"), 10, 64)
 	if err != nil {
@@ -118,6 +132,9 @@ func queryRange(r *http.Request) (ts, te int64, err error) {
 	te, err = strconv.ParseInt(r.URL.Query().Get("te"), 10, 64)
 	if err != nil {
 		return 0, 0, fmt.Errorf("te: %w", err)
+	}
+	if te < ts {
+		return 0, 0, fmt.Errorf("inverted time range: te = %d < ts = %d", te, ts)
 	}
 	return ts, te, nil
 }
@@ -140,10 +157,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.RLock()
-	weight := s.sum.EdgeWeight(sv, dv, ts, te)
-	s.mu.RUnlock()
-	writeJSON(w, map[string]int64{"weight": weight})
+	writeJSON(w, map[string]int64{"weight": s.summary().EdgeWeight(sv, dv, ts, te)})
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
@@ -155,20 +169,16 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	dir := r.URL.Query().Get("dir")
-	s.mu.RLock()
 	var weight int64
-	switch dir {
+	switch r.URL.Query().Get("dir") {
 	case "", "out":
-		weight = s.sum.VertexOut(v, ts, te)
+		weight = s.summary().VertexOut(v, ts, te)
 	case "in":
-		weight = s.sum.VertexIn(v, ts, te)
+		weight = s.summary().VertexIn(v, ts, te)
 	default:
-		s.mu.RUnlock()
 		httpError(w, http.StatusBadRequest, "dir must be \"out\" or \"in\"")
 		return
 	}
-	s.mu.RUnlock()
 	writeJSON(w, map[string]int64{"weight": weight})
 }
 
@@ -192,10 +202,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		}
 		path[i] = v
 	}
-	s.mu.RLock()
-	weight := s.sum.PathWeight(path, ts, te)
-	s.mu.RUnlock()
-	writeJSON(w, map[string]int64{"weight": weight})
+	writeJSON(w, map[string]int64{"weight": s.summary().PathWeight(path, ts, te)})
 }
 
 // subgraphRequest is the POST body of /v1/subgraph.
@@ -217,44 +224,41 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
-	s.mu.RLock()
-	weight := s.sum.SubgraphWeight(req.Edges, req.Ts, req.Te)
-	s.mu.RUnlock()
-	writeJSON(w, map[string]int64{"weight": weight})
+	if req.Te < req.Ts {
+		httpError(w, http.StatusBadRequest, "inverted time range: te = %d < ts = %d", req.Te, req.Ts)
+		return
+	}
+	writeJSON(w, map[string]int64{"weight": s.summary().SubgraphWeight(req.Edges, req.Ts, req.Te)})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	st := s.sum.Stats()
-	s.mu.RUnlock()
-	writeJSON(w, st)
+	writeJSON(w, s.summary().Stats())
 }
 
-// handleSnapshot serves the binary snapshot on GET and replaces the
-// summary from an uploaded snapshot on POST.
+// handleSnapshot serves the sharded binary snapshot on GET and replaces
+// the summary from an uploaded snapshot on POST (sharded or legacy
+// unsharded; see shard.Read).
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		w.Header().Set("Content-Type", "application/octet-stream")
-		s.mu.Lock() // WriteTo seals pending aggregates
-		_, err := s.sum.WriteTo(w)
-		s.mu.Unlock()
-		if err != nil {
+		if _, err := s.summary().WriteTo(w); err != nil {
 			// Headers are gone; the truncated body signals failure.
 			return
 		}
 	case http.MethodPost:
-		loaded, err := core.Read(r.Body)
+		loaded, err := shard.Read(r.Body)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "snapshot: %v", err)
 			return
 		}
-		s.mu.Lock()
-		old := s.sum
-		s.sum = loaded
-		s.mu.Unlock()
+		old := s.sum.Swap(loaded)
 		old.Close()
-		writeJSON(w, map[string]any{"loaded": true, "items": loaded.Items()})
+		writeJSON(w, map[string]any{
+			"loaded": true,
+			"items":  loaded.Items(),
+			"shards": loaded.NumShards(),
+		})
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
 	}

@@ -8,14 +8,22 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
-	"higgs/internal/core"
+	"higgs/internal/shard"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	sum, err := core.New(core.DefaultConfig())
+	return newTestServerShards(t, 4)
+}
+
+func newTestServerShards(t *testing.T, shards int) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := shard.DefaultConfig()
+	cfg.Shards = shards
+	sum, err := shard.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,9 +139,12 @@ func TestStats(t *testing.T) {
 	_, ts := newTestServer(t)
 	seed(t, ts.URL)
 	resp := get(t, ts.URL+"/v1/stats")
-	st := decode[core.Stats](t, resp)
-	if st.Items != 3 {
-		t.Fatalf("stats items = %d", st.Items)
+	st := decode[shard.Stats](t, resp)
+	if st.Total.Items != 3 {
+		t.Fatalf("stats items = %d", st.Total.Items)
+	}
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("stats shards = %d, per-shard = %d", st.Shards, len(st.PerShard))
 	}
 }
 
@@ -185,6 +196,12 @@ func TestBadRequests(t *testing.T) {
 		{"POST", "/v1/snapshot", "not a snapshot", http.StatusBadRequest},
 		{"PUT", "/v1/snapshot", "", http.StatusMethodNotAllowed},
 		{"GET", "/v1/delete", "", http.StatusMethodNotAllowed},
+		// Inverted time ranges (te < ts) are client errors, not empty
+		// results (regression: these used to return 200 with weight 0).
+		{"GET", "/v1/edge?s=1&d=2&ts=100&te=50", "", http.StatusBadRequest},
+		{"GET", "/v1/vertex?v=1&ts=100&te=50", "", http.StatusBadRequest},
+		{"GET", "/v1/path?v=1,2&ts=100&te=50", "", http.StatusBadRequest},
+		{"POST", "/v1/subgraph", `{"edges":[[1,2]],"ts":100,"te":50}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
@@ -199,6 +216,116 @@ func TestBadRequests(t *testing.T) {
 		if resp.StatusCode != c.wantStatus {
 			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
 		}
+	}
+}
+
+// TestInvertedRangeRejected pins the error message and checks the
+// boundary: ts == te is a valid (single-instant) range.
+func TestInvertedRangeRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	resp := get(t, ts.URL+"/v1/edge?s=1&d=2&ts=20&te=10")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted range status = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "inverted time range") {
+		t.Fatalf("unexpected error body: %s", body)
+	}
+	resp = get(t, ts.URL+"/v1/edge?s=1&d=2&ts=10&te=10")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 3 {
+		t.Fatalf("ts == te weight = %v, want 3", got)
+	}
+}
+
+// TestShardedSnapshotRoundTripOverHTTP: a snapshot downloaded from an
+// 8-shard server restores into a server with a different shard count (the
+// upload replaces the whole summary, shard framing included).
+func TestShardedSnapshotRoundTripOverHTTP(t *testing.T) {
+	_, ts1 := newTestServerShards(t, 8)
+	seed(t, ts1.URL)
+	resp := get(t, ts1.URL+"/v1/snapshot")
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServerShards(t, 2)
+	resp2, err := http.Post(ts2.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[map[string]any](t, resp2)
+	if got["shards"] != float64(8) || got["items"] != float64(3) {
+		t.Fatalf("snapshot upload response = %v", got)
+	}
+	resp3 := get(t, ts2.URL+"/v1/edge?s=1&d=2&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp3); got["weight"] != 7 {
+		t.Fatalf("restored weight = %v, want 7", got)
+	}
+	st := decode[shard.Stats](t, get(t, ts2.URL+"/v1/stats"))
+	if st.Shards != 8 {
+		t.Fatalf("restored shard count = %d, want 8", st.Shards)
+	}
+}
+
+// TestConcurrentInsertAndQuery drives writers and readers through the HTTP
+// layer simultaneously — with per-shard locking there is no global mutex
+// serializing them (run with -race).
+func TestConcurrentInsertAndQuery(t *testing.T) {
+	_, ts := newTestServerShards(t, 8)
+	const writers, batches = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				var sb strings.Builder
+				sb.WriteByte('[')
+				for i := 0; i < 8; i++ {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, `{"s":%d,"d":%d,"w":1,"t":%d}`, w*1000+b*8+i, i, b*10)
+				}
+				sb.WriteByte(']')
+				resp, err := http.Post(ts.URL+"/v1/insert", "application/json", strings.NewReader(sb.String()))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("insert status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				resp, err := http.Get(fmt.Sprintf("%s/v1/vertex?v=%d&dir=in&ts=0&te=1000", ts.URL, b%8))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	resp := get(t, ts.URL+"/v1/stats")
+	if st := decode[shard.Stats](t, resp); st.Total.Items != writers*batches*8 {
+		t.Fatalf("items = %d, want %d", st.Total.Items, writers*batches*8)
 	}
 }
 

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"higgs/internal/stream"
+)
+
+// TestConcurrentIngestAndQuery drives writers and readers through the
+// sharded summary simultaneously — the concurrency contract the package
+// exists for. Run with -race; correctness checks are deliberately loose
+// (one-sidedness, no panics) because estimates legitimately move while
+// ingest is in flight.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	st, err := stream.Generate(stream.Config{
+		Nodes: 100, Edges: 24_000, Span: 60_000, Skew: 2.0, Variance: 800,
+		Slices: 120, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSharded(t, 8)
+
+	// Writers: partition the stream by shard up front so each shard still
+	// sees non-decreasing timestamps, then ingest all partitions at once.
+	parts := make([][]stream.Edge, s.NumShards())
+	for _, e := range st {
+		i := s.ShardFor(e.S)
+		parts[i] = append(parts[i], e)
+	}
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		wg.Add(1)
+		go func(part []stream.Edge) {
+			defer wg.Done()
+			for i := 0; i < len(part); i += 64 {
+				end := min(i+64, len(part))
+				s.InsertBatch(part[i:end])
+			}
+		}(part)
+	}
+
+	// Readers: hammer every query type while ingest runs.
+	var stop atomic.Bool
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for v := uint64(0); !stop.Load(); v = (v + 1) % 100 {
+				if s.EdgeWeight(v, v+1, 0, 60_000) < 0 {
+					t.Error("negative edge estimate")
+					return
+				}
+				_ = s.VertexOut(v, 0, 30_000)
+				_ = s.VertexIn(v, 10_000, 60_000)
+				_ = s.PathWeight([]uint64{v, v + 1, v + 2}, 0, 60_000)
+				_ = s.SubgraphWeight([][2]uint64{{v, v + 1}, {v + 2, v}}, 0, 60_000)
+				if g == 0 {
+					_ = s.Stats()
+					_ = s.Items()
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	stop.Store(true)
+	readers.Wait()
+
+	s.Finalize()
+	if got := s.Items(); got != int64(len(st)) {
+		t.Fatalf("Items = %d, want %d", got, len(st))
+	}
+	// After the dust settles, estimates must cover the truth.
+	truth := make(map[[2]uint64]int64)
+	for _, e := range st {
+		truth[[2]uint64{e.S, e.D}] += e.W
+	}
+	for k, want := range truth {
+		if got := s.EdgeWeight(k[0], k[1], 0, 60_000); got < want {
+			t.Fatalf("EdgeWeight(%d,%d) = %d undercounts %d", k[0], k[1], got, want)
+		}
+	}
+}
+
+// TestConcurrentSnapshotDuringIngest: WriteTo locks shard by shard, so a
+// snapshot taken mid-ingest is a valid, loadable summary.
+func TestConcurrentSnapshotDuringIngest(t *testing.T) {
+	st, err := stream.Generate(stream.Config{
+		Nodes: 60, Edges: 12_000, Span: 40_000, Skew: 2.0, Variance: 700,
+		Slices: 80, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSharded(t, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.InsertBatch(st)
+	}()
+	for i := 0; i < 5; i++ {
+		var buf discardCounter
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Errorf("WriteTo during ingest: %v", err)
+		}
+	}
+	wg.Wait()
+}
+
+// discardCounter is an io.Writer sink (bytes.Buffer reallocation noise is
+// pointless under -race).
+type discardCounter struct{ n int64 }
+
+func (d *discardCounter) Write(p []byte) (int, error) {
+	d.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,395 @@
+// Package shard provides the concurrency layer over package core: a
+// sharded HIGGS summary that hash-partitions the graph stream by source
+// vertex across N independent core summaries, each behind its own
+// read-write lock. Ingest parallelizes across shards (writers to distinct
+// shards never contend) and temporal range queries fan out concurrently and
+// merge.
+//
+// Partitioning by source vertex makes edge and vertex-out queries
+// single-shard lookups: every edge s→d lives in the shard of s, so all of a
+// vertex's outgoing edges share a shard. Vertex-in queries fan out to every
+// shard (a vertex's incoming edges are scattered by their sources); path
+// and subgraph queries decompose into per-shard edge groups that are
+// evaluated concurrently. Every merged result is a sum of per-shard
+// one-sided estimates, so the never-underestimate guarantee of package core
+// carries over unchanged (DESIGN.md §8).
+//
+// A shard.Summary with Shards = 1 behaves exactly like a mutex-wrapped
+// core.Summary and is the degenerate configuration the HTTP server used
+// before sharding existed.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"higgs/internal/core"
+	"higgs/internal/hashing"
+	"higgs/internal/stream"
+)
+
+// MaxShards bounds Config.Shards; beyond a few hundred shards the per-query
+// fan-out cost dominates any ingest win.
+const MaxShards = 4096
+
+// partitionSeedMix decorrelates the partitioning hash from the in-matrix
+// vertex hash: both derive from Config.Core.Seed, but a shard boundary must
+// not align with fingerprint or address bits.
+const partitionSeedMix = 0x632be59bd9b4e019
+
+// Config parameterizes a sharded summary.
+type Config struct {
+	// Shards is the number of partitions (1..MaxShards). More shards buy
+	// ingest and query parallelism at a small space cost: each shard grows
+	// its own tree, so trailing partially-filled leaves multiply by N.
+	Shards int
+	// Core is the configuration every shard's core.Summary is built with.
+	Core core.Config
+}
+
+// DefaultConfig returns a 4-way sharded version of the paper's recommended
+// configuration. Four shards saturate typical small servers; callers
+// scaling further should set Shards near the machine's core count.
+func DefaultConfig() Config {
+	return Config{Shards: 4, Core: core.DefaultConfig()}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Shards < 1 || c.Shards > MaxShards {
+		return fmt.Errorf("shard: Shards = %d, need 1..%d", c.Shards, MaxShards)
+	}
+	return c.Core.Validate()
+}
+
+// slot pairs one core summary with its lock. Insert and Delete take the
+// write lock; queries take the read lock (core queries are mutually
+// concurrency-safe but must not run during mutation).
+type slot struct {
+	mu  sync.RWMutex
+	sum *core.Summary
+}
+
+// Summary is a sharded HIGGS graph stream summary. It is safe for
+// concurrent use by multiple goroutines: mutations serialize per shard,
+// queries run concurrently with each other and with mutations on other
+// shards.
+type Summary struct {
+	cfg   Config
+	part  hashing.Hasher // partitioning hash, decorrelated from core's
+	slots []*slot
+}
+
+// New returns an empty sharded summary for the given configuration.
+func New(cfg Config) (*Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Summary{
+		cfg:   cfg,
+		part:  hasherFor(cfg),
+		slots: make([]*slot, cfg.Shards),
+	}
+	for i := range s.slots {
+		cs, err := core.New(cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		s.slots[i] = &slot{sum: cs}
+	}
+	return s, nil
+}
+
+// Adopt wraps an existing core summary as a one-shard sharded summary,
+// preserving its contents. It is how legacy (unsharded) snapshots enter the
+// sharded world.
+func Adopt(sum *core.Summary) *Summary {
+	cfg := Config{Shards: 1, Core: sum.Config()}
+	return &Summary{
+		cfg:   cfg,
+		part:  hasherFor(cfg),
+		slots: []*slot{{sum: sum}},
+	}
+}
+
+// hasherFor derives the partitioning hasher of a configuration.
+func hasherFor(cfg Config) hashing.Hasher {
+	return hashing.NewHasher(cfg.Core.Seed ^ partitionSeedMix)
+}
+
+// Config returns the summary's configuration.
+func (s *Summary) Config() Config { return s.cfg }
+
+// NumShards returns the number of partitions.
+func (s *Summary) NumShards() int { return len(s.slots) }
+
+// Name identifies the structure in benchmark output.
+func (s *Summary) Name() string { return fmt.Sprintf("HIGGS×%d", len(s.slots)) }
+
+// ShardFor returns the index of the shard owning edges whose source vertex
+// is v. It is deterministic for a given Config.Core.Seed, so two summaries
+// built with the same seed partition identically.
+func (s *Summary) ShardFor(v uint64) int {
+	return int(s.part.Hash(v) % uint64(len(s.slots)))
+}
+
+// Insert adds one stream item to the shard of its source vertex.
+// Timestamps must be non-decreasing per shard; since each shard receives a
+// subsequence of the stream, any globally time-ordered stream satisfies
+// this (out-of-order items are clamped per shard, see core.Summary).
+func (s *Summary) Insert(e stream.Edge) {
+	sl := s.slots[s.ShardFor(e.S)]
+	sl.mu.Lock()
+	sl.sum.Insert(e)
+	sl.mu.Unlock()
+}
+
+// InsertBatch adds a batch of stream items, grouping them by shard so each
+// shard's lock is taken once per batch rather than once per edge. Relative
+// order within a shard is preserved.
+func (s *Summary) InsertBatch(edges []stream.Edge) {
+	if len(s.slots) == 1 {
+		sl := s.slots[0]
+		sl.mu.Lock()
+		for _, e := range edges {
+			sl.sum.Insert(e)
+		}
+		sl.mu.Unlock()
+		return
+	}
+	groups := make(map[int][]stream.Edge)
+	for _, e := range edges {
+		i := s.ShardFor(e.S)
+		groups[i] = append(groups[i], e)
+	}
+	for i, g := range groups {
+		sl := s.slots[i]
+		sl.mu.Lock()
+		for _, e := range g {
+			sl.sum.Insert(e)
+		}
+		sl.mu.Unlock()
+	}
+}
+
+// Delete removes one previously inserted item from the shard of its source
+// vertex, reporting whether a matching entry was found.
+func (s *Summary) Delete(e stream.Edge) bool {
+	sl := s.slots[s.ShardFor(e.S)]
+	sl.mu.Lock()
+	ok := sl.sum.Delete(e)
+	sl.mu.Unlock()
+	return ok
+}
+
+// EdgeWeight estimates the aggregated weight of edge (sv → dv) in [ts, te].
+// The edge lives only in sv's shard, so this is a single-shard lookup.
+func (s *Summary) EdgeWeight(sv, dv uint64, ts, te int64) int64 {
+	sl := s.slots[s.ShardFor(sv)]
+	sl.mu.RLock()
+	defer sl.mu.RUnlock()
+	return sl.sum.EdgeWeight(sv, dv, ts, te)
+}
+
+// VertexOut estimates the aggregated weight of v's outgoing edges in
+// [ts, te]. All outgoing edges of v share v's shard: single-shard lookup.
+func (s *Summary) VertexOut(v uint64, ts, te int64) int64 {
+	sl := s.slots[s.ShardFor(v)]
+	sl.mu.RLock()
+	defer sl.mu.RUnlock()
+	return sl.sum.VertexOut(v, ts, te)
+}
+
+// VertexIn estimates the aggregated weight of v's incoming edges in
+// [ts, te]. Incoming edges are partitioned by their sources, so the query
+// fans out to every shard concurrently and sums — each term is a one-sided
+// estimate of that shard's true contribution, so the sum never undercounts.
+func (s *Summary) VertexIn(v uint64, ts, te int64) int64 {
+	return s.fanOutSum(func(cs *core.Summary) int64 { return cs.VertexIn(v, ts, te) })
+}
+
+// fanOutSum evaluates q on every shard concurrently under read locks and
+// returns the sum of the per-shard results.
+func (s *Summary) fanOutSum(q func(*core.Summary) int64) int64 {
+	if len(s.slots) == 1 {
+		sl := s.slots[0]
+		sl.mu.RLock()
+		defer sl.mu.RUnlock()
+		return q(sl.sum)
+	}
+	res := make([]int64, len(s.slots))
+	var wg sync.WaitGroup
+	wg.Add(len(s.slots))
+	for i, sl := range s.slots {
+		go func(i int, sl *slot) {
+			defer wg.Done()
+			sl.mu.RLock()
+			defer sl.mu.RUnlock()
+			res[i] = q(sl.sum)
+		}(i, sl)
+	}
+	wg.Wait()
+	var sum int64
+	for _, r := range res {
+		sum += r
+	}
+	return sum
+}
+
+// PathWeight estimates the sum of edge weights along the vertex path in
+// [ts, te], decomposed into per-shard edge groups evaluated concurrently.
+func (s *Summary) PathWeight(path []uint64, ts, te int64) int64 {
+	if len(path) < 2 {
+		return 0
+	}
+	edges := make([][2]uint64, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		edges[i] = [2]uint64{path[i], path[i+1]}
+	}
+	return s.SubgraphWeight(edges, ts, te)
+}
+
+// SubgraphWeight estimates the total weight of the given edge set in
+// [ts, te]. Edges are grouped by the shard of their source vertex; groups
+// are evaluated concurrently, each under a single read lock.
+func (s *Summary) SubgraphWeight(edges [][2]uint64, ts, te int64) int64 {
+	if len(edges) == 0 {
+		return 0
+	}
+	groups := make(map[int][][2]uint64)
+	for _, e := range edges {
+		i := s.ShardFor(e[0])
+		groups[i] = append(groups[i], e)
+	}
+	queryGroup := func(i int, g [][2]uint64) int64 {
+		sl := s.slots[i]
+		sl.mu.RLock()
+		defer sl.mu.RUnlock()
+		var sum int64
+		for _, e := range g {
+			sum += sl.sum.EdgeWeight(e[0], e[1], ts, te)
+		}
+		return sum
+	}
+	if len(groups) == 1 {
+		for i, g := range groups {
+			return queryGroup(i, g)
+		}
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int64
+	)
+	wg.Add(len(groups))
+	for i, g := range groups {
+		go func(i int, g [][2]uint64) {
+			defer wg.Done()
+			w := queryGroup(i, g)
+			mu.Lock()
+			total += w
+			mu.Unlock()
+		}(i, g)
+	}
+	wg.Wait()
+	return total
+}
+
+// Finalize marks the end of the stream on every shard concurrently; see
+// core.Summary.Finalize. Finalize is idempotent.
+func (s *Summary) Finalize() {
+	s.eachShard(func(sl *slot) {
+		sl.mu.Lock()
+		sl.sum.Finalize()
+		sl.mu.Unlock()
+	})
+}
+
+// Close releases per-shard background resources. The summary remains
+// queryable.
+func (s *Summary) Close() {
+	s.eachShard(func(sl *slot) {
+		sl.mu.Lock()
+		sl.sum.Close()
+		sl.mu.Unlock()
+	})
+}
+
+// eachShard runs f on every shard concurrently and waits.
+func (s *Summary) eachShard(f func(*slot)) {
+	if len(s.slots) == 1 {
+		f(s.slots[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(s.slots))
+	for _, sl := range s.slots {
+		go func(sl *slot) {
+			defer wg.Done()
+			f(sl)
+		}(sl)
+	}
+	wg.Wait()
+}
+
+// Stats reports aggregate and per-shard structural statistics.
+type Stats struct {
+	Shards   int          // number of partitions
+	Total    core.Stats   // summed across shards (Layers is the maximum)
+	PerShard []core.Stats // one entry per shard, in shard order
+}
+
+// Stats gathers statistics from every shard concurrently. Per-shard
+// figures follow core.Summary.Stats; Total sums them, except Layers (the
+// maximum tree height) and AvgLeafUtil (leaf-weighted mean).
+func (s *Summary) Stats() Stats {
+	st := Stats{Shards: len(s.slots), PerShard: make([]core.Stats, len(s.slots))}
+	var wg sync.WaitGroup
+	wg.Add(len(s.slots))
+	for i, sl := range s.slots {
+		go func(i int, sl *slot) {
+			defer wg.Done()
+			// Stats seals closed nodes on demand: a mutation, so write lock.
+			sl.mu.Lock()
+			st.PerShard[i] = sl.sum.Stats()
+			sl.mu.Unlock()
+		}(i, sl)
+	}
+	wg.Wait()
+	var utilWeighted float64
+	for _, ps := range st.PerShard {
+		st.Total.Items += ps.Items
+		st.Total.Clamped += ps.Clamped
+		st.Total.Rejected += ps.Rejected
+		st.Total.Leaves += ps.Leaves
+		st.Total.Nodes += ps.Nodes
+		st.Total.OverflowBlocks += ps.OverflowBlocks
+		st.Total.SealedMatrices += ps.SealedMatrices
+		st.Total.SpillEntries += ps.SpillEntries
+		st.Total.SpaceBytes += ps.SpaceBytes
+		st.Total.HeapBytes += ps.HeapBytes
+		if ps.Layers > st.Total.Layers {
+			st.Total.Layers = ps.Layers
+		}
+		utilWeighted += ps.AvgLeafUtil * float64(ps.Leaves)
+	}
+	if st.Total.Leaves > 0 {
+		st.Total.AvgLeafUtil = utilWeighted / float64(st.Total.Leaves)
+	}
+	return st
+}
+
+// Items returns the number of accepted stream items across all shards.
+func (s *Summary) Items() int64 {
+	var n int64
+	for _, sl := range s.slots {
+		sl.mu.RLock()
+		n += sl.sum.Items()
+		sl.mu.RUnlock()
+	}
+	return n
+}
+
+// SpaceBytes returns the packed structural size across all shards
+// (DESIGN.md §7).
+func (s *Summary) SpaceBytes() int64 { return s.Stats().Total.SpaceBytes }

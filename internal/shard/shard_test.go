@@ -1,0 +1,301 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"higgs/internal/core"
+	"higgs/internal/stream"
+)
+
+// testStream synthesizes a deterministic stream for shard tests.
+func testStream(t *testing.T, nodes, edges int) stream.Stream {
+	t.Helper()
+	st, err := stream.Generate(stream.Config{
+		Nodes: nodes, Edges: edges, Span: 50_000, Skew: 2.0, Variance: 900,
+		Slices: 200, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newSharded(t *testing.T, shards int) *Summary {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Shards = shards
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Shards: 0, Core: core.DefaultConfig()},
+		{Shards: -1, Core: core.DefaultConfig()},
+		{Shards: MaxShards + 1, Core: core.DefaultConfig()},
+		{Shards: 2}, // zero core config is invalid
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", bad)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}
+
+// TestPartitionEquivalence is the sharding correctness anchor: every shard
+// of a sharded summary must answer exactly like an unsharded core summary
+// fed the same partition of the stream, and single-shard queries on the
+// sharded summary must route to the right partition.
+func TestPartitionEquivalence(t *testing.T) {
+	const shards = 8
+	st := testStream(t, 200, 20_000)
+	s := newSharded(t, shards)
+
+	refs := make([]*core.Summary, shards)
+	for i := range refs {
+		refs[i] = core.MustNew(s.Config().Core)
+	}
+	for _, e := range st {
+		s.Insert(e)
+		refs[s.ShardFor(e.S)].Insert(e)
+	}
+	s.Finalize()
+	for _, r := range refs {
+		r.Finalize()
+	}
+
+	span := st[len(st)-1].T
+	for v := uint64(0); v < 200; v++ {
+		i := s.ShardFor(v)
+		for _, win := range [][2]int64{{0, span}, {span / 4, span / 2}, {0, 0}} {
+			if got, want := s.EdgeWeight(v, v+1, win[0], win[1]), refs[i].EdgeWeight(v, v+1, win[0], win[1]); got != want {
+				t.Fatalf("EdgeWeight(%d,%d,%v) = %d, shard ref = %d", v, v+1, win, got, want)
+			}
+			if got, want := s.VertexOut(v, win[0], win[1]), refs[i].VertexOut(v, win[0], win[1]); got != want {
+				t.Fatalf("VertexOut(%d,%v) = %d, shard ref = %d", v, win, got, want)
+			}
+			var wantIn int64
+			for _, r := range refs {
+				wantIn += r.VertexIn(v, win[0], win[1])
+			}
+			if got := s.VertexIn(v, win[0], win[1]); got != wantIn {
+				t.Fatalf("VertexIn(%d,%v) = %d, sum of shard refs = %d", v, win, got, wantIn)
+			}
+		}
+	}
+}
+
+// TestOneSided: sharded estimates never undercount the exact truth.
+func TestOneSided(t *testing.T) {
+	st := testStream(t, 100, 10_000)
+	s := newSharded(t, 4)
+	truth := make(map[[2]uint64]int64)
+	for _, e := range st {
+		s.Insert(e)
+		truth[[2]uint64{e.S, e.D}] += e.W
+	}
+	s.Finalize()
+	span := st[len(st)-1].T
+	for k, want := range truth {
+		if got := s.EdgeWeight(k[0], k[1], 0, span); got < want {
+			t.Fatalf("EdgeWeight(%d,%d) = %d undercounts %d", k[0], k[1], got, want)
+		}
+	}
+}
+
+func TestPathAndSubgraphDecomposition(t *testing.T) {
+	st := testStream(t, 150, 15_000)
+	s := newSharded(t, 8)
+	for _, e := range st {
+		s.Insert(e)
+	}
+	s.Finalize()
+	span := st[len(st)-1].T
+
+	path := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	var want int64
+	for i := 0; i+1 < len(path); i++ {
+		want += s.EdgeWeight(path[i], path[i+1], 0, span)
+	}
+	if got := s.PathWeight(path, 0, span); got != want {
+		t.Fatalf("PathWeight = %d, sum of EdgeWeights = %d", got, want)
+	}
+	if got := s.PathWeight([]uint64{42}, 0, span); got != 0 {
+		t.Fatalf("single-vertex path = %d, want 0", got)
+	}
+
+	edges := [][2]uint64{{1, 2}, {2, 3}, {3, 4}, {100, 101}, {7, 7}}
+	want = 0
+	for _, e := range edges {
+		want += s.EdgeWeight(e[0], e[1], 0, span)
+	}
+	if got := s.SubgraphWeight(edges, 0, span); got != want {
+		t.Fatalf("SubgraphWeight = %d, sum of EdgeWeights = %d", got, want)
+	}
+	if got := s.SubgraphWeight(nil, 0, span); got != 0 {
+		t.Fatalf("empty subgraph = %d, want 0", got)
+	}
+}
+
+func TestDeleteRoutesToShard(t *testing.T) {
+	s := newSharded(t, 4)
+	e := stream.Edge{S: 11, D: 22, W: 5, T: 100}
+	s.Insert(e)
+	if got := s.EdgeWeight(11, 22, 0, 200); got != 5 {
+		t.Fatalf("EdgeWeight = %d, want 5", got)
+	}
+	if !s.Delete(e) {
+		t.Fatal("Delete reported not found")
+	}
+	if got := s.EdgeWeight(11, 22, 0, 200); got != 0 {
+		t.Fatalf("EdgeWeight after delete = %d, want 0", got)
+	}
+	if s.Delete(stream.Edge{S: 99, D: 98, W: 1, T: 100}) {
+		t.Fatal("phantom delete reported found")
+	}
+}
+
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	st := testStream(t, 80, 8_000)
+	a, b := newSharded(t, 4), newSharded(t, 4)
+	for _, e := range st {
+		a.Insert(e)
+	}
+	b.InsertBatch(st)
+	a.Finalize()
+	b.Finalize()
+	span := st[len(st)-1].T
+	for v := uint64(0); v < 80; v++ {
+		if ga, gb := a.VertexOut(v, 0, span), b.VertexOut(v, 0, span); ga != gb {
+			t.Fatalf("VertexOut(%d): Insert %d vs InsertBatch %d", v, ga, gb)
+		}
+	}
+	if a.Items() != b.Items() {
+		t.Fatalf("Items: %d vs %d", a.Items(), b.Items())
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	st := testStream(t, 100, 10_000)
+	s := newSharded(t, 4)
+	for _, e := range st {
+		s.Insert(e)
+	}
+	s.Finalize()
+	stats := s.Stats()
+	if stats.Shards != 4 || len(stats.PerShard) != 4 {
+		t.Fatalf("Shards = %d, PerShard = %d", stats.Shards, len(stats.PerShard))
+	}
+	var items int64
+	maxLayers := 0
+	for _, ps := range stats.PerShard {
+		items += ps.Items
+		if ps.Layers > maxLayers {
+			maxLayers = ps.Layers
+		}
+	}
+	if stats.Total.Items != items || stats.Total.Items != int64(len(st)) {
+		t.Fatalf("Total.Items = %d, per-shard sum = %d, stream = %d", stats.Total.Items, items, len(st))
+	}
+	if stats.Total.Layers != maxLayers {
+		t.Fatalf("Total.Layers = %d, max per-shard = %d", stats.Total.Layers, maxLayers)
+	}
+	if stats.Total.SpaceBytes <= 0 {
+		t.Fatal("space accounting missing")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := testStream(t, 120, 12_000)
+	s := newSharded(t, 4)
+	for _, e := range st[:10_000] {
+		s.Insert(e)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(loaded.Close)
+	if loaded.NumShards() != 4 {
+		t.Fatalf("loaded shards = %d, want 4", loaded.NumShards())
+	}
+	// The loaded summary keeps accepting inserts where the original left
+	// off, and partitions identically.
+	for _, e := range st[10_000:] {
+		s.Insert(e)
+		loaded.Insert(e)
+	}
+	s.Finalize()
+	loaded.Finalize()
+	span := st[len(st)-1].T
+	for v := uint64(0); v < 120; v++ {
+		if got, want := loaded.VertexOut(v, 0, span), s.VertexOut(v, 0, span); got != want {
+			t.Fatalf("VertexOut(%d) after reload = %d, want %d", v, got, want)
+		}
+		if got, want := loaded.VertexIn(v, 0, span), s.VertexIn(v, 0, span); got != want {
+			t.Fatalf("VertexIn(%d) after reload = %d, want %d", v, got, want)
+		}
+	}
+	if loaded.Items() != s.Items() {
+		t.Fatalf("Items after reload = %d, want %d", loaded.Items(), s.Items())
+	}
+}
+
+// TestReadLegacyCoreSnapshot: a bare core snapshot loads as a one-shard
+// summary, so pre-sharding snapshots keep working.
+func TestReadLegacyCoreSnapshot(t *testing.T) {
+	cs := core.MustNew(core.DefaultConfig())
+	cs.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 100})
+	cs.Insert(stream.Edge{S: 1, D: 2, W: 4, T: 200})
+	var buf bytes.Buffer
+	if _, err := cs.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if s.NumShards() != 1 {
+		t.Fatalf("legacy snapshot shards = %d, want 1", s.NumShards())
+	}
+	if got := s.EdgeWeight(1, 2, 0, 300); got != 7 {
+		t.Fatalf("EdgeWeight = %d, want 7", got)
+	}
+}
+
+func TestReadRejectsCorruptInput(t *testing.T) {
+	for _, blob := range [][]byte{
+		nil,
+		[]byte("garbage that is neither format"),
+		{0xd3, 0x8e, 0xa5, 0x84, 0x04}, // sharded magic, then truncation
+	} {
+		if _, err := Read(bytes.NewReader(blob)); err == nil {
+			t.Errorf("Read(%q) accepted corrupt input", blob)
+		}
+	}
+}
+
+func TestAdoptPreservesContents(t *testing.T) {
+	cs := core.MustNew(core.DefaultConfig())
+	cs.Insert(stream.Edge{S: 5, D: 6, W: 9, T: 50})
+	s := Adopt(cs)
+	t.Cleanup(s.Close)
+	if got := s.EdgeWeight(5, 6, 0, 100); got != 9 {
+		t.Fatalf("EdgeWeight = %d, want 9", got)
+	}
+	if s.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", s.NumShards())
+	}
+}
