@@ -3,14 +3,20 @@
 //
 //	higgsd -addr :8080
 //	higgsd -addr :8080 -shards 8 -load summary.higgs -save summary.higgs
+//	higgsd -ingest-mode async -queue-depth 8192 -commit-interval 2ms
 //
 // The summary is hash-partitioned by source vertex across -shards
 // independent HIGGS trees (0 = one per CPU), so concurrent inserts and
 // queries touching different shards never contend; see internal/shard.
+// Writes POSTed to /v1/ingest go through the asynchronous group-commit
+// pipeline (internal/ingest, DESIGN.md §9) configured by -ingest-mode,
+// -queue-depth, and -commit-interval; /v1/insert stays synchronous.
 //
-// API (see internal/server):
+// API (see internal/server and README "Running the server"):
 //
-//	POST /v1/insert    [{"s":1,"d":2,"w":1,"t":100}, ...]
+//	POST /v1/insert    [{"s":1,"d":2,"w":1,"t":100}, ...]   (synchronous)
+//	POST /v1/ingest    [{"s":1,"d":2,"w":1,"t":100}, ...]   (202/429, group commit)
+//	POST /v1/flush     (barrier: 202-accepted edges become visible)
 //	POST /v1/delete    {"s":1,"d":2,"w":1,"t":100}
 //	GET  /v1/edge?s=1&d=2&ts=0&te=200
 //	GET  /v1/vertex?v=1&dir=out&ts=0&te=200
@@ -22,8 +28,10 @@
 // Snapshots are written in the sharded framing; -load also accepts legacy
 // unsharded snapshots, which come up as a single shard.
 //
-// On SIGINT/SIGTERM the server stops accepting connections and, if -save
-// is set, writes a snapshot before exiting.
+// On SIGINT/SIGTERM the server stops accepting connections, drains the
+// ingest pipeline (every 202-accepted batch is applied), and, if -save is
+// set, writes a snapshot before exiting — so accepted edges survive an
+// orderly shutdown.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"higgs/internal/ingest"
 	"higgs/internal/server"
 	"higgs/internal/shard"
 )
@@ -48,19 +57,39 @@ func main() {
 		shards = flag.Int("shards", 0, "summary shard count (0 = one per CPU)")
 		load   = flag.String("load", "", "snapshot file to restore at startup")
 		save   = flag.String("save", "", "snapshot file to write on shutdown")
+		mode   = flag.String("ingest-mode", "auto", `/v1/ingest admission: "sync", "async", or "auto"`)
+		depth  = flag.Int("queue-depth", 4096, "per-shard async ingest queue capacity (edges)")
+		commit = flag.Duration("commit-interval", 0, "group-commit accumulation window (0 = apply as soon as possible)")
 	)
 	flag.Parse()
+
+	imode, err := ingest.ParseMode(*mode)
+	if err != nil {
+		log.Fatalf("higgsd: -ingest-mode: %v", err)
+	}
+	if *depth <= 0 {
+		// Config treats 0 as "use the default"; an operator passing 0
+		// expects no buffering, which the pipeline does not offer.
+		log.Fatalf("higgsd: -queue-depth %d, need ≥ 1", *depth)
+	}
+	icfg := ingest.DefaultConfig()
+	icfg.Mode = imode
+	icfg.QueueDepth = *depth
+	icfg.CommitInterval = *commit
 
 	sum, err := buildSummary(*load, *shards)
 	if err != nil {
 		log.Fatalf("higgsd: %v", err)
 	}
-	srv := server.New(sum)
+	srv, err := server.NewWithIngest(sum, icfg)
+	if err != nil {
+		log.Fatalf("higgsd: %v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	go func() {
-		log.Printf("higgsd: listening on %s (shards=%d items=%d)",
-			*addr, sum.NumShards(), sum.Items())
+		log.Printf("higgsd: listening on %s (shards=%d items=%d ingest=%s)",
+			*addr, sum.NumShards(), sum.Items(), imode)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("higgsd: %v", err)
 		}
@@ -75,6 +104,9 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("higgsd: shutdown: %v", err)
 	}
+	// Drain accepted-but-uncommitted ingest batches before snapshotting:
+	// a 202 means the edge survives an orderly shutdown.
+	srv.Close()
 	if *save != "" {
 		if err := writeSnapshot(srv.Summary(), *save); err != nil {
 			log.Fatalf("higgsd: save: %v", err)

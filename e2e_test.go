@@ -191,3 +191,81 @@ func getWeight(t *testing.T, url string) int64 {
 	}
 	return v["weight"]
 }
+
+// TestE2EAsyncDaemon boots higgsd in async ingest mode with a deliberately
+// huge commit interval, 202-ingests edges, checks the flush barrier makes
+// them visible, then SIGTERMs with *unflushed* edges pending: the shutdown
+// drain must fold them into the -save snapshot, and a restart must serve
+// them.
+func TestE2EAsyncDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bins := buildTools(t, "higgsd")
+	snap := filepath.Join(t.TempDir(), "state.higgs")
+	addr := freeAddr(t)
+
+	run := exec.Command(bins["higgsd"], "-addr", addr, "-save", snap,
+		"-shards", "2", "-ingest-mode", "async", "-commit-interval", "1h")
+	var logs bytes.Buffer
+	run.Stderr = &logs
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer run.Process.Kill()
+	waitHTTP(t, addr)
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/ingest", "application/json",
+		strings.NewReader(`[{"s":1,"d":2,"w":3,"t":10},{"s":1,"d":2,"w":4,"t":20}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %d, want 202", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/flush", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := getWeight(t, base+"/v1/edge?s=1&d=2&ts=0&te=100"); got != 7 {
+		t.Fatalf("edge weight after flush = %d, want 7", got)
+	}
+
+	// Accepted but never flushed: only the shutdown drain can save it.
+	resp, err = http.Post(base+"/v1/ingest", "application/json",
+		strings.NewReader(`[{"s":2,"d":3,"w":5,"t":30}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second ingest status = %d, want 202", resp.StatusCode)
+	}
+	if err := run.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatalf("higgsd exit: %v\n%s", err, logs.String())
+	}
+
+	addr2 := freeAddr(t)
+	run2 := exec.Command(bins["higgsd"], "-addr", addr2, "-load", snap)
+	run2.Stderr = io.Discard
+	if err := run2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		run2.Process.Signal(os.Interrupt)
+		run2.Wait()
+	}()
+	waitHTTP(t, addr2)
+	if got := getWeight(t, "http://"+addr2+"/v1/edge?s=2&d=3&ts=0&te=100"); got != 5 {
+		t.Fatalf("unflushed 202 edge lost across shutdown: weight = %d, want 5", got)
+	}
+	if got := getWeight(t, "http://"+addr2+"/v1/edge?s=1&d=2&ts=0&te=100"); got != 7 {
+		t.Fatalf("restored edge weight = %d, want 7", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"higgs/internal/core"
+	"higgs/internal/ingest"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
 )
@@ -109,3 +110,41 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) { return shard.New(cfg) }
 // written with Sharded.WriteTo. It also accepts unsharded snapshots
 // (written by Summary.WriteTo), which load as a one-shard summary.
 func LoadSharded(r io.Reader) (*Sharded, error) { return shard.Read(r) }
+
+// Ingest is an asynchronous group-commit pipeline in front of a Sharded
+// summary: Submit routes edges into per-shard bounded queues, committer
+// goroutines apply whatever accumulated under one lock acquisition per
+// shard, Flush is the visibility barrier, and Close drains everything
+// accepted. See package ingest for full method documentation and
+// DESIGN.md §9 for the model.
+type Ingest = ingest.Pipeline
+
+// IngestConfig parameterizes an ingest pipeline: admission mode, per-shard
+// queue depth, group-commit accumulation window, and the auto-mode
+// synchronous-batch threshold.
+type IngestConfig = ingest.Config
+
+// IngestMode selects how Ingest.Submit applies batches.
+type IngestMode = ingest.Mode
+
+// Ingest admission modes; see the ingest package constants.
+const (
+	IngestAuto  = ingest.ModeAuto
+	IngestSync  = ingest.ModeSync
+	IngestAsync = ingest.ModeAsync
+)
+
+// Backpressure and lifecycle errors returned by Ingest.Submit.
+var (
+	ErrIngestQueueFull = ingest.ErrQueueFull
+	ErrIngestClosed    = ingest.ErrClosed
+)
+
+// DefaultIngestConfig returns the default pipeline configuration (auto
+// mode, 4096-edge queues, no accumulation delay).
+func DefaultIngestConfig() IngestConfig { return ingest.DefaultConfig() }
+
+// NewIngest returns a group-commit ingest pipeline over the summary. The
+// pipeline does not own the summary: close the pipeline first (draining
+// accepted edges), then the summary.
+func NewIngest(s *Sharded, cfg IngestConfig) (*Ingest, error) { return ingest.New(s, cfg) }

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"higgs/internal/ingest"
+	"higgs/internal/metrics"
+	"higgs/internal/shard"
+	"higgs/internal/stream"
+)
+
+// AsyncIngest measures the group-commit admission pipeline
+// (internal/ingest, DESIGN.md §9) against synchronous per-edge ingest, and
+// enforces the pipeline's correctness contract.
+//
+// Throughput rows replay the stream as batch-size-1 submissions from
+// several concurrent producers sharing shards — the worst case the
+// pipeline exists for, where synchronous ingest pays one contended shard
+// write-lock acquisition per edge while group commit amortizes it to ~one
+// per shard per drain. The async figure includes the terminal Flush, so it
+// counts time to visibility, not just admission.
+//
+// The post-flush column is the equivalence check (an error, not a warning,
+// when it fails): a deterministic per-shard-ordered stream is ingested
+// once synchronously and once through the async pipeline with Flush+Close,
+// and the two finalized snapshots must be byte-for-byte equal — so every
+// query answer after a flush is exactly what synchronous ingest of the
+// same stream would have produced.
+func AsyncIngest(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Extra: async group-commit ingest (internal/ingest) ==")
+	t := metrics.NewTable("dataset", "shards", "sync b=1", "group-commit", "speedup", "post-flush")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		for _, n := range shardCounts {
+			syncEPS, err := contendedIngestEPS(ds, n, uint64(o.Seed), false)
+			if err != nil {
+				return err
+			}
+			asyncEPS, err := contendedIngestEPS(ds, n, uint64(o.Seed), true)
+			if err != nil {
+				return err
+			}
+			if err := asyncEquivalence(ds, n, uint64(o.Seed)); err != nil {
+				return err
+			}
+			t.AddRow(ds.Name, fmt.Sprint(n), metrics.FormatEPS(syncEPS),
+				metrics.FormatEPS(asyncEPS),
+				fmt.Sprintf("%.2f×", asyncEPS/syncEPS),
+				"snapshot byte-equal")
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// submitRetry submits one batch, yielding and retrying while the queue is
+// full — any other error (a closed pipeline, a future failure mode) is
+// returned rather than spun on, so a broken run fails instead of hanging.
+func submitRetry(p *ingest.Pipeline, batch []stream.Edge) error {
+	for {
+		_, err := p.Submit(batch)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ingest.ErrQueueFull) {
+			return err
+		}
+		// The committer is behind; yield so it can drain.
+		runtime.Gosched()
+	}
+}
+
+// ingestProducers is the concurrent-poster count for a shard count: enough
+// to contend (more producers than shards at low counts), capped by the
+// machine's parallelism.
+func ingestProducers(n int) int {
+	p := 2 * n
+	if p < 2 {
+		p = 2
+	}
+	if max := runtime.GOMAXPROCS(0); p > max && max >= 2 {
+		p = max
+	}
+	if p > 8 {
+		p = 8
+	}
+	return p
+}
+
+// contendedIngestEPS replays the dataset as batch-size-1 submissions from
+// concurrent producers pulling off a shared cursor (so producers collide
+// on shards, as HTTP clients do). With async=false each edge goes through
+// a synchronous one-edge InsertBatch — exactly the admission path
+// /v1/insert runs per tiny post; with async=true each goes through an
+// async pipeline, full queues are retried, and the measured time includes
+// the final Flush (time to visibility, not just admission).
+func contendedIngestEPS(ds *Dataset, n int, seed uint64, async bool) (float64, error) {
+	cfg := shard.DefaultConfig()
+	cfg.Shards = n
+	cfg.Core.Seed = seed
+	s, err := shard.New(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("bench: asyncingest %d: %w", n, err)
+	}
+	defer s.Close()
+	var p *ingest.Pipeline
+	if async {
+		// A short accumulation window builds large groups under sustained
+		// load (a full queue cuts it short), so committers drain thousands
+		// of edges per shard-lock acquisition instead of waking per edge.
+		p, err = ingest.New(s, ingest.Config{Mode: ingest.ModeAsync, CommitInterval: 200 * time.Microsecond})
+		if err != nil {
+			return 0, fmt.Errorf("bench: asyncingest %d: %w", n, err)
+		}
+		// Close is idempotent; the deferred call covers error returns so
+		// committers never outlive the summary the deferred s.Close stops.
+		defer p.Close()
+	}
+
+	producers := ingestProducers(n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, producers)
+	start := time.Now()
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(ds.Stream)) {
+					return
+				}
+				if !async {
+					s.InsertBatch(ds.Stream[i : i+1])
+					continue
+				}
+				if err := submitRetry(p, ds.Stream[i:i+1]); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return 0, fmt.Errorf("bench: asyncingest %d: %w", n, err)
+	default:
+	}
+	if async {
+		p.Flush()
+	}
+	eps := metrics.Throughput(int64(len(ds.Stream)), time.Since(start))
+	if async {
+		p.Close()
+	}
+	if got := s.Items(); got != int64(len(ds.Stream)) {
+		return 0, fmt.Errorf("bench: asyncingest %d: %d items after ingest, want %d", n, got, len(ds.Stream))
+	}
+	return eps, nil
+}
+
+// asyncEquivalence ingests the same per-shard-ordered stream once
+// synchronously and once through the async pipeline, and requires the
+// finalized snapshots to match byte for byte. Producers are pinned one per
+// shard (the summary's own partitioning), so both runs present each shard
+// an identical edge sequence and any divergence is the pipeline's fault.
+func asyncEquivalence(ds *Dataset, n int, seed uint64) error {
+	cfg := shard.DefaultConfig()
+	cfg.Shards = n
+	cfg.Core.Seed = seed
+
+	run := func(async bool) ([]byte, error) {
+		s, err := shard.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		var p *ingest.Pipeline
+		if async {
+			p, err = ingest.New(s, ingest.Config{Mode: ingest.ModeAsync, QueueDepth: 512, CommitInterval: 100 * time.Microsecond})
+			if err != nil {
+				return nil, err
+			}
+			defer p.Close() // idempotent; covers error returns
+		}
+		parts := make([][]stream.Edge, n)
+		for _, e := range ds.Stream {
+			i := s.ShardFor(e.S)
+			parts[i] = append(parts[i], e)
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, n)
+		for _, part := range parts {
+			wg.Add(1)
+			go func(part []stream.Edge) {
+				defer wg.Done()
+				for i := range part {
+					if !async {
+						s.Insert(part[i])
+						continue
+					}
+					if err := submitRetry(p, part[i:i+1]); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(part)
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			return nil, err
+		default:
+		}
+		if async {
+			p.Flush()
+			p.Close()
+		}
+		s.Finalize()
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	syncSnap, err := run(false)
+	if err != nil {
+		return fmt.Errorf("bench: asyncingest %d: sync reference: %w", n, err)
+	}
+	asyncSnap, err := run(true)
+	if err != nil {
+		return fmt.Errorf("bench: asyncingest %d: async run: %w", n, err)
+	}
+	if !bytes.Equal(syncSnap, asyncSnap) {
+		return fmt.Errorf("bench: asyncingest %d: post-flush snapshot diverges from synchronous ingest (%d vs %d bytes)",
+			n, len(asyncSnap), len(syncSnap))
+	}
+	return nil
+}

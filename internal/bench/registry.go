@@ -28,6 +28,7 @@ var registry = []Experiment{
 	{"budget", "Extra: Horae accuracy vs GSS buffer budget", BufferBudget},
 	{"reverse", "Extra: gMatrix reverse heavy-hitter queries", ReverseQueries},
 	{"sharded", "Extra: sharded ingest scaling (internal/shard)", ShardedIngest},
+	{"asyncingest", "Extra: async group-commit ingest vs sync (internal/ingest)", AsyncIngest},
 }
 
 // Experiments lists all registered experiments in presentation order.

@@ -1,0 +1,486 @@
+// Package ingest implements the asynchronous group-commit admission
+// pipeline in front of a shard.Summary (DESIGN.md §9). A synchronous
+// shard.Summary.Insert costs one shard write-lock acquisition per edge, so
+// a stream arriving as many tiny batches (the shape of small HTTP posts)
+// pays lock overhead proportional to the edge count. The pipeline instead
+// routes accepted edges into one bounded queue per shard; a committer
+// goroutine per shard drains whatever has accumulated and applies it under
+// a single lock acquisition (shard.Summary.InsertShard), so N tiny submits
+// cost ~1 lock per shard per drain.
+//
+// The contract is admission, not durability: Submit returning nil means the
+// edges are accepted and will be applied in order, and a later Flush
+// returns only after every previously accepted edge is visible to queries.
+// When a shard's queue is full Submit rejects the whole batch with
+// ErrQueueFull and applies nothing — backpressure the HTTP layer surfaces
+// as 429. Close drains all pending batches before returning, so an orderly
+// shutdown never drops accepted edges (close the pipeline before closing
+// the summary).
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"higgs/internal/shard"
+	"higgs/internal/stream"
+)
+
+// Mode selects how Submit applies batches.
+type Mode int
+
+const (
+	// ModeAuto enqueues small batches and applies large ones (at least
+	// Config.SyncThreshold edges) synchronously when their target shards
+	// have nothing pending — a large batch already amortizes its own lock
+	// acquisitions, so queueing it buys nothing. The pending check keeps a
+	// sequential client's batches applied in submission order.
+	ModeAuto Mode = iota
+	// ModeSync applies every batch synchronously via InsertBatch; Submit
+	// returns after the edges are visible. No queues or committers exist.
+	ModeSync
+	// ModeAsync enqueues every batch; edges become visible after the
+	// shard's committer drains, or at the latest after Flush.
+	ModeAsync
+)
+
+// String returns the flag spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeSync:
+		return "sync"
+	case ModeAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses the flag spelling of a mode ("auto", "sync", "async").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "auto":
+		return ModeAuto, nil
+	case "sync":
+		return ModeSync, nil
+	case "async":
+		return ModeAsync, nil
+	default:
+		return 0, fmt.Errorf(`ingest: mode %q, need "auto", "sync", or "async"`, s)
+	}
+}
+
+// ErrQueueFull is returned by Submit when some target shard's queue cannot
+// take the batch. Nothing was applied or enqueued; the caller should retry
+// after backing off (HTTP surfaces this as 429).
+var ErrQueueFull = errors.New("ingest: shard queue full")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// Config parameterizes a Pipeline. The zero value of any field selects its
+// default, so Config{} is the default configuration.
+type Config struct {
+	// Mode selects sync, async, or auto admission (default ModeAuto).
+	Mode Mode
+	// QueueDepth is the per-shard queue capacity in edges (default 4096).
+	// A batch whose shard group does not fit is rejected with ErrQueueFull
+	// — except into an empty queue, which accepts one oversized group so a
+	// batch larger than the queue can never be wedged forever.
+	QueueDepth int
+	// CommitInterval is how long a committer accumulates after waking on a
+	// non-empty queue before applying, trading visibility latency for
+	// larger groups. 0 (the default) applies as soon as the committer is
+	// free; group commit still amortizes naturally, because edges queue up
+	// while the previous drain holds the shard lock. A full queue or a
+	// Flush cuts the accumulation short.
+	CommitInterval time.Duration
+	// SyncThreshold is the minimum batch size ModeAuto considers large
+	// enough to apply synchronously (default 512).
+	SyncThreshold int
+}
+
+// DefaultConfig returns the default pipeline configuration.
+func DefaultConfig() Config {
+	return Config{Mode: ModeAuto, QueueDepth: 4096, SyncThreshold: 512}
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.QueueDepth == 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.SyncThreshold == 0 {
+		c.SyncThreshold = d.SyncThreshold
+	}
+	return c
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if _, err := ParseMode(c.Mode.String()); err != nil {
+		return err
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("ingest: QueueDepth = %d, need ≥ 0", c.QueueDepth)
+	}
+	if c.CommitInterval < 0 {
+		return fmt.Errorf("ingest: CommitInterval = %v, need ≥ 0", c.CommitInterval)
+	}
+	if c.SyncThreshold < 0 {
+		return fmt.Errorf("ingest: SyncThreshold = %d, need ≥ 0", c.SyncThreshold)
+	}
+	return nil
+}
+
+// queue is one shard's admission buffer. enqueued/applied are cumulative
+// edge counts; their difference is the backlog, and Flush waits on applied
+// reaching a snapshot of enqueued (cond broadcasts on every drain).
+type queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond // signals applied advancing
+	buf      []stream.Edge
+	spare    []stream.Edge // recycled backing array for the next buf
+	enqueued uint64
+	applied  uint64
+	// urgent asks the committer to skip its accumulation window on the
+	// next drain. Set (under mu) by Flush; a kick alone is not enough,
+	// because a kick sent while one is already pending is dropped, and the
+	// pending one may be consumed by the committer's idle wait rather than
+	// its accumulation wait.
+	urgent bool
+	// kick wakes the committer: sent (capacity 1, non-blocking) when the
+	// buffer becomes non-empty, reaches capacity, or a Flush wants the
+	// accumulation window cut short. At-least-once semantics: a dropped
+	// kick means one is already pending.
+	kick chan struct{}
+}
+
+func newQueue() *queue {
+	q := &queue{kick: make(chan struct{}, 1)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) kickCommitter() {
+	select {
+	case q.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Pipeline is an asynchronous group-commit front end over a shard.Summary.
+// It is safe for concurrent use by multiple goroutines.
+type Pipeline struct {
+	sum    *shard.Summary
+	cfg    Config
+	queues []*queue // nil in ModeSync
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	once   sync.Once
+
+	// applyHook, when non-nil, runs in the committer just before each
+	// group is applied. Test-only: set after New and before the first
+	// Submit (the kick channel orders the write before any committer
+	// read).
+	applyHook func(shard, edges int)
+}
+
+// New returns a pipeline over the summary and starts one committer
+// goroutine per shard (none in ModeSync). The pipeline does not own the
+// summary: Close drains the queues but leaves the summary open.
+func New(sum *shard.Summary, cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		sum:  sum,
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+	}
+	if p.cfg.Mode == ModeSync {
+		return p, nil
+	}
+	p.queues = make([]*queue, sum.NumShards())
+	for i := range p.queues {
+		p.queues[i] = newQueue()
+	}
+	p.wg.Add(len(p.queues))
+	for i := range p.queues {
+		go p.committer(i)
+	}
+	return p, nil
+}
+
+// Mode returns the pipeline's admission mode.
+func (p *Pipeline) Mode() Mode { return p.cfg.Mode }
+
+// Pending returns the number of accepted edges not yet applied.
+func (p *Pipeline) Pending() int64 {
+	var n int64
+	for _, q := range p.queues {
+		q.mu.Lock()
+		n += int64(q.enqueued - q.applied)
+		q.mu.Unlock()
+	}
+	return n
+}
+
+// Submit admits a batch of stream items. The returned bool reports whether
+// the batch was applied synchronously (true: immediately visible to
+// queries) or accepted into queues (false: visible after the shard's next
+// commit, or at the latest after Flush). On ErrQueueFull or ErrClosed
+// nothing was applied or enqueued.
+//
+// Ordering: batches submitted sequentially by one goroutine are applied to
+// each shard in submission order. Batches submitted concurrently by
+// different goroutines have no defined order, exactly as concurrent
+// InsertBatch calls do not.
+func (p *Pipeline) Submit(edges []stream.Edge) (applied bool, err error) {
+	if len(edges) == 0 {
+		return true, nil
+	}
+	if p.closed.Load() {
+		return false, ErrClosed
+	}
+	if p.cfg.Mode == ModeSync {
+		p.sum.InsertBatch(edges)
+		return true, nil
+	}
+	if len(edges) == 1 {
+		return false, p.enqueueOne(p.sum.ShardFor(edges[0].S), edges[0])
+	}
+	groups := make(map[int][]stream.Edge)
+	for _, e := range edges {
+		i := p.sum.ShardFor(e.S)
+		groups[i] = append(groups[i], e)
+	}
+	if p.cfg.Mode == ModeAuto && len(edges) >= p.cfg.SyncThreshold && p.idle(groups) {
+		// Apply the groups already built rather than InsertBatch, which
+		// would re-hash and re-group every edge.
+		for i, g := range groups {
+			p.sum.InsertShard(i, g)
+		}
+		return true, nil
+	}
+	return false, p.enqueueGroups(groups)
+}
+
+// idle reports whether every shard targeted by groups has an empty backlog
+// — the condition under which a synchronous apply cannot overtake queued
+// edges from the same sequential client.
+func (p *Pipeline) idle(groups map[int][]stream.Edge) bool {
+	for i := range groups {
+		q := p.queues[i]
+		q.mu.Lock()
+		pending := q.enqueued - q.applied
+		q.mu.Unlock()
+		if pending != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fits reports whether a group of n edges may enter the queue: it fits
+// within QueueDepth, or the queue is empty (one oversized group is always
+// admissible, so batches larger than the queue cannot starve forever).
+func (p *Pipeline) fits(q *queue, n int) bool {
+	return len(q.buf) == 0 || len(q.buf)+n <= p.cfg.QueueDepth
+}
+
+// enqueueOne is the single-edge fast path: no group map, one queue lock.
+// The committer is kicked only on the empty→non-empty transition (an edge
+// appended to a non-empty buffer is already covered by the pending kick,
+// or by the drain that must serialize after this append to empty the
+// buffer) and at capacity, so a stream of tiny submits pays one channel
+// send per drain, not per edge.
+func (p *Pipeline) enqueueOne(i int, e stream.Edge) error {
+	q := p.queues[i]
+	q.mu.Lock()
+	if p.closed.Load() {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	if !p.fits(q, 1) {
+		q.mu.Unlock()
+		return ErrQueueFull
+	}
+	wasEmpty := len(q.buf) == 0
+	q.buf = append(q.buf, e)
+	q.enqueued++
+	full := len(q.buf) >= p.cfg.QueueDepth
+	q.mu.Unlock()
+	if wasEmpty || full {
+		q.kickCommitter()
+	}
+	return nil
+}
+
+// enqueueGroups admits a batch all-or-nothing: the involved queues are
+// locked in ascending shard order (deadlock-free against concurrent
+// multi-shard submits), capacity is checked for every group, and only then
+// is anything appended. A rejected batch leaves no partial state, so a 429
+// retry cannot double-insert.
+func (p *Pipeline) enqueueGroups(groups map[int][]stream.Edge) error {
+	idx := make([]int, 0, len(groups))
+	for i := range groups {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		p.queues[i].mu.Lock()
+	}
+	unlock := func() {
+		for _, i := range idx {
+			p.queues[i].mu.Unlock()
+		}
+	}
+	if p.closed.Load() {
+		unlock()
+		return ErrClosed
+	}
+	for _, i := range idx {
+		if !p.fits(p.queues[i], len(groups[i])) {
+			unlock()
+			return ErrQueueFull
+		}
+	}
+	kicks := make([]bool, 0, len(idx))
+	for _, i := range idx {
+		q := p.queues[i]
+		wasEmpty := len(q.buf) == 0
+		q.buf = append(q.buf, groups[i]...)
+		q.enqueued += uint64(len(groups[i]))
+		kicks = append(kicks, wasEmpty || len(q.buf) >= p.cfg.QueueDepth)
+	}
+	unlock()
+	for k, i := range idx {
+		if kicks[k] {
+			p.queues[i].kickCommitter()
+		}
+	}
+	return nil
+}
+
+// committer is shard i's drain loop: wake on a kick, optionally accumulate
+// for CommitInterval (cut short by a full queue, a Flush, or shutdown),
+// then apply everything buffered under one shard lock acquisition.
+func (p *Pipeline) committer(i int) {
+	defer p.wg.Done()
+	q := p.queues[i]
+	for {
+		select {
+		case <-q.kick:
+		case <-p.stop:
+			p.drain(i)
+			return
+		}
+		if iv := p.cfg.CommitInterval; iv > 0 && !p.commitDue(q) {
+			t := time.NewTimer(iv)
+			select {
+			case <-t.C:
+			case <-q.kick:
+				t.Stop()
+			case <-p.stop:
+				t.Stop()
+			}
+		}
+		p.drain(i)
+	}
+}
+
+// commitDue reports whether the queue warrants an immediate drain — at or
+// beyond capacity, or a Flush barrier waiting — making an accumulation
+// sleep pointless (or, for a flush, harmful).
+func (p *Pipeline) commitDue(q *queue) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.urgent || len(q.buf) >= p.cfg.QueueDepth
+}
+
+// drain applies everything buffered for shard i under one lock acquisition
+// and advances the applied counter (waking Flush waiters).
+func (p *Pipeline) drain(i int) {
+	q := p.queues[i]
+	q.mu.Lock()
+	if len(q.buf) == 0 {
+		// Spurious wake (flush of an already-drained queue, stale kick):
+		// leave the buffers alone so the ping-pong pair survives.
+		q.urgent = false
+		q.mu.Unlock()
+		return
+	}
+	edges := q.buf
+	q.buf = q.spare
+	q.spare = nil
+	q.urgent = false
+	q.mu.Unlock()
+	if h := p.applyHook; h != nil {
+		h(i, len(edges))
+	}
+	p.sum.InsertShard(i, edges)
+	q.mu.Lock()
+	q.applied += uint64(len(edges))
+	// Recycle the drained backing array: the two arrays ping-pong between
+	// buf and spare, so a steady stream settles into zero allocations. The
+	// array behind an oversized batch (admitted into an empty queue, so
+	// len exceeds QueueDepth) is dropped instead — recycling it would pin
+	// batch-sized memory per shard for the pipeline's lifetime. Gate on
+	// len, not cap: append growth overshoots QueueDepth on organically
+	// filled buffers, and those must keep recycling.
+	if len(edges) <= p.cfg.QueueDepth {
+		q.spare = edges[:0]
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Flush blocks until every edge accepted before the call is applied and
+// visible to queries — the barrier behind the HTTP /v1/flush endpoint. It
+// kicks each committer so a pending accumulation window does not delay the
+// barrier, and it does not wait for edges accepted concurrently with or
+// after the call. Flush never blocks Submit: admission proceeds while the
+// barrier waits.
+func (p *Pipeline) Flush() {
+	// Mark and kick every shard before waiting on any, so the committers
+	// drain in parallel and barrier latency is the slowest shard, not the
+	// sum of all of them.
+	targets := make([]uint64, len(p.queues))
+	for i, q := range p.queues {
+		q.mu.Lock()
+		targets[i] = q.enqueued
+		if q.applied < targets[i] {
+			q.urgent = true
+		}
+		q.mu.Unlock()
+		q.kickCommitter()
+	}
+	for i, q := range p.queues {
+		q.mu.Lock()
+		for q.applied < targets[i] {
+			q.cond.Wait()
+		}
+		q.mu.Unlock()
+	}
+}
+
+// Close stops admission (further Submits return ErrClosed), drains every
+// queue — accepted edges are applied, never dropped — and stops the
+// committers. The summary is left open and queryable; Close is idempotent
+// and safe to call concurrently.
+func (p *Pipeline) Close() {
+	p.once.Do(func() {
+		p.closed.Store(true)
+		close(p.stop)
+	})
+	p.wg.Wait()
+}

@@ -1,22 +1,37 @@
 // Package server exposes a sharded HIGGS summary over HTTP as a small
-// query service: stream items are POSTed in, TRQ primitives are GETs, and
-// the snapshot codec is wired to download/upload endpoints so a summary can
-// be moved between processes. cmd/higgsd is the thin binary around it.
+// query service (DESIGN.md §10): stream items are POSTed in, TRQ
+// primitives are GETs, and the snapshot codec is wired to download/upload
+// endpoints so a summary can be moved between processes. cmd/higgsd is the
+// thin binary around it; README "Running the server" documents every
+// endpoint, status code, and flag.
 //
 // Concurrency is delegated to package shard: every mutation locks only the
 // shards it touches and queries fan out under per-shard read locks, so
 // requests hitting different shards proceed in parallel — there is no
 // server-global lock (DESIGN.md §8).
+//
+// Writes have two admission paths. /v1/insert is always synchronous: 200
+// means the edges are applied and visible. /v1/ingest goes through the
+// group-commit pipeline of package ingest (DESIGN.md §9): 202 means the
+// batch is accepted and will be applied in order — durable for the
+// process's lifetime, drained even on orderly shutdown, and guaranteed
+// visible after a later POST /v1/flush returns — while 429 signals a full
+// shard queue with nothing applied or enqueued, so the client may simply
+// retry the identical batch. The one exception to 202 durability is a
+// snapshot upload, which by design discards the entire served summary,
+// accepted-but-uncommitted edges included.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
 
+	"higgs/internal/ingest"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
 )
@@ -29,32 +44,84 @@ type Edge struct {
 	T int64  `json:"t"`
 }
 
-// Server wraps a sharded HIGGS summary with an HTTP API. The summary
-// pointer is swapped atomically on snapshot upload, so in-flight requests
-// always see a consistent summary.
-type Server struct {
-	sum atomic.Pointer[shard.Summary]
+// state pairs the served summary with the ingest pipeline feeding it. The
+// two must swap together on snapshot upload — a pipeline drains into
+// exactly the summary it was built over.
+type state struct {
+	sum  *shard.Summary
+	pipe *ingest.Pipeline
 }
 
-// New returns a server over the given sharded summary.
+// Server wraps a sharded HIGGS summary with an HTTP API. The
+// summary/pipeline pair is swapped atomically on snapshot upload, so
+// in-flight requests always see a consistent summary.
+type Server struct {
+	st     atomic.Pointer[state]
+	icfg   ingest.Config
+	closed atomic.Bool
+}
+
+// New returns a server over the given sharded summary with the default
+// ingest pipeline configuration.
 func New(sum *shard.Summary) *Server {
-	s := &Server{}
-	s.sum.Store(sum)
+	s, err := NewWithIngest(sum, ingest.DefaultConfig())
+	if err != nil {
+		// DefaultConfig always validates; reaching here is a bug.
+		panic(err)
+	}
 	return s
 }
 
+// NewWithIngest returns a server over the given sharded summary whose
+// /v1/ingest endpoint runs the group-commit pipeline with the given
+// configuration (cmd/higgsd maps -ingest-mode, -queue-depth, and
+// -commit-interval onto it).
+func NewWithIngest(sum *shard.Summary, icfg ingest.Config) (*Server, error) {
+	pipe, err := ingest.New(sum, icfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{icfg: icfg}
+	s.st.Store(&state{sum: sum, pipe: pipe})
+	return s, nil
+}
+
 // summary returns the current summary.
-func (s *Server) summary() *shard.Summary { return s.sum.Load() }
+func (s *Server) summary() *shard.Summary { return s.st.Load().sum }
+
+// pipeline returns the current ingest pipeline.
+func (s *Server) pipeline() *ingest.Pipeline { return s.st.Load().pipe }
 
 // Summary returns the summary currently being served. A snapshot upload
 // replaces it, so callers persisting state on shutdown must ask the server
 // rather than hold the pointer they constructed it with.
-func (s *Server) Summary() *shard.Summary { return s.sum.Load() }
+func (s *Server) Summary() *shard.Summary { return s.st.Load().sum }
+
+// Close drains the ingest pipeline: every batch accepted with 202 is
+// applied before Close returns. The summary itself stays open and
+// queryable, so a caller persisting state on shutdown closes the server
+// first and snapshots Summary() after. Requests racing with Close may see
+// 503 on /v1/ingest and /v1/snapshot uploads; everything else keeps
+// working. The loop covers a snapshot upload racing with Close: a swapped-
+// in pipeline must be drained too, or its accepted edges would miss the
+// caller's post-Close snapshot.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	for {
+		st := s.st.Load()
+		st.pipe.Close()
+		if s.st.Load() == st {
+			return
+		}
+	}
+}
 
 // Handler returns the HTTP handler implementing the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/insert", s.handleInsert)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/flush", s.handleFlush)
 	mux.HandleFunc("/v1/delete", s.handleDelete)
 	mux.HandleFunc("/v1/edge", s.handleEdge)
 	mux.HandleFunc("/v1/vertex", s.handleVertex)
@@ -70,11 +137,16 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus writes v with the given status code; headers must be set
+// before WriteHeader sends them. An Encode error is a connection-level
+// failure with nothing sensible left to do.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Connection-level failure; nothing sensible left to do.
-		return
-	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // handleInsert accepts a JSON array of edges. The batch is grouped by
@@ -84,25 +156,72 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	edges, err := decodeEdges(r)
+	batch, err := decodeBatch(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
+	s.summary().InsertBatch(batch)
+	writeJSON(w, map[string]int{"inserted": len(batch)})
+}
+
+// handleIngest accepts a JSON array of edges through the group-commit
+// pipeline. 200: applied synchronously (sync mode, or auto mode's large
+// batches) and immediately visible. 202: accepted; visible after the
+// shard's next commit, or at the latest once a later /v1/flush returns.
+// 429 (with Retry-After): a shard queue is full and nothing was applied or
+// enqueued — retrying the same batch is safe. 503: server shutting down.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	batch, err := decodeBatch(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	applied, err := s.pipeline().Submit(batch)
+	switch {
+	case errors.Is(err, ingest.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "ingest queue full, retry")
+	case errors.Is(err, ingest.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "ingest: %v", err)
+	case applied:
+		writeJSON(w, map[string]int{"inserted": len(batch)})
+	default:
+		writeJSONStatus(w, http.StatusAccepted, map[string]int{"accepted": len(batch)})
+	}
+}
+
+// handleFlush blocks until every edge accepted (202) before the request is
+// applied, then reports the summary's item count. Queries issued after a
+// flush returns observe all previously accepted edges.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	st := s.st.Load()
+	st.pipe.Flush()
+	writeJSON(w, map[string]int64{"items": st.sum.Items()})
+}
+
+// decodeBatch reads a request body holding a JSON array of edges into the
+// stream representation both write endpoints insert.
+func decodeBatch(r *http.Request) ([]stream.Edge, error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var edges []Edge
+	if err := dec.Decode(&edges); err != nil {
+		return nil, fmt.Errorf("body must be a JSON array of edges: %w", err)
+	}
 	batch := make([]stream.Edge, len(edges))
 	for i, e := range edges {
 		batch[i] = stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T}
-	}
-	s.summary().InsertBatch(batch)
-	writeJSON(w, map[string]int{"inserted": len(edges)})
-}
-
-func decodeEdges(r *http.Request) ([]Edge, error) {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var batch []Edge
-	if err := dec.Decode(&batch); err != nil {
-		return nil, fmt.Errorf("body must be a JSON array of edges: %w", err)
 	}
 	return batch, nil
 }
@@ -237,7 +356,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleSnapshot serves the sharded binary snapshot on GET and replaces
 // the summary from an uploaded snapshot on POST (sharded or legacy
-// unsharded; see shard.Read).
+// unsharded; see shard.Read). A GET during async ingest snapshots whatever
+// has been committed; POST /v1/flush first to capture everything accepted.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
@@ -247,13 +367,36 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case http.MethodPost:
+		if s.closed.Load() {
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
 		loaded, err := shard.Read(r.Body)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "snapshot: %v", err)
 			return
 		}
-		old := s.sum.Swap(loaded)
-		old.Close()
+		pipe, err := ingest.New(loaded, s.icfg)
+		if err != nil {
+			// The config was validated at construction; a failure here
+			// means the summary/config pair is somehow unusable.
+			loaded.Close()
+			httpError(w, http.StatusInternalServerError, "ingest pipeline: %v", err)
+			return
+		}
+		old := s.st.Swap(&state{sum: loaded, pipe: pipe})
+		// Drain the old pipeline into the old summary before closing both:
+		// in-flight /v1/ingest requests that were already accepted complete
+		// their contract against the summary they targeted, even though the
+		// upload then discards that summary wholesale.
+		old.pipe.Close()
+		old.sum.Close()
+		if s.closed.Load() {
+			// Server.Close ran concurrently with the swap; nothing may
+			// outlive its drain contract (Close's own loop usually catches
+			// this — both closes are idempotent).
+			pipe.Close()
+		}
 		writeJSON(w, map[string]any{
 			"loaded": true,
 			"items":  loaded.Items(),

@@ -9,8 +9,11 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"higgs/internal/ingest"
 	"higgs/internal/shard"
 )
 
@@ -29,7 +32,10 @@ func newTestServerShards(t *testing.T, shards int) (*Server, *httptest.Server) {
 	}
 	srv := New(sum)
 	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close() // stop the pipeline's committer goroutines
+	})
 	return srv, ts
 }
 
@@ -347,5 +353,187 @@ func TestConcurrentClients(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// newAsyncTestServer builds a server whose /v1/ingest runs in pure async
+// mode with the given queue depth and commit interval.
+func newAsyncTestServer(t *testing.T, shards int, icfg ingest.Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := shard.DefaultConfig()
+	cfg.Shards = shards
+	sum, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithIngest(sum, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// TestIngestAcceptedThenFlushVisible: async writes are 202-accepted, and a
+// /v1/flush barrier makes every previously accepted edge visible to
+// queries.
+func TestIngestAcceptedThenFlushVisible(t *testing.T) {
+	_, ts := newAsyncTestServer(t, 4, ingest.Config{Mode: ingest.ModeAsync, CommitInterval: time.Hour})
+	resp := post(t, ts.URL+"/v1/ingest",
+		`[{"s":1,"d":2,"w":3,"t":10},{"s":1,"d":2,"w":4,"t":20},{"s":2,"d":3,"w":5,"t":30}]`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d, want 202", resp.StatusCode)
+	}
+	if got := decode[map[string]int](t, resp); got["accepted"] != 3 {
+		t.Fatalf("accepted = %v", got)
+	}
+	// With a 1h commit interval nothing is applied yet; the flush barrier
+	// must force the commit rather than wait the interval out.
+	resp = post(t, ts.URL+"/v1/flush", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush status %d", resp.StatusCode)
+	}
+	if got := decode[map[string]int64](t, resp); got["items"] != 3 {
+		t.Fatalf("flush items = %v, want 3", got)
+	}
+	resp = get(t, ts.URL+"/v1/edge?s=1&d=2&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 7 {
+		t.Fatalf("weight after flush = %v, want 7", got)
+	}
+}
+
+// TestIngestBackpressure429: a batch that cannot fit behind an existing
+// backlog is rejected whole with 429 + Retry-After, and a later flush
+// shows the rejected batch was not partially applied.
+func TestIngestBackpressure429(t *testing.T) {
+	_, ts := newAsyncTestServer(t, 1, ingest.Config{Mode: ingest.ModeAsync, QueueDepth: 4, CommitInterval: time.Hour})
+	// One shard, 1h window: the first batch parks 2 edges in the queue
+	// (the committer may or may not have drained them yet), so keep
+	// posting until the backlog forces a rejection.
+	var accepted int
+	var saw429 bool
+	for i := 0; i < 12 && !saw429; i++ {
+		body := fmt.Sprintf(`[{"s":1,"d":2,"w":1,"t":%d},{"s":2,"d":3,"w":1,"t":%d},{"s":3,"d":4,"w":1,"t":%d}]`,
+			100+i, 100+i, 100+i)
+		resp := post(t, ts.URL+"/v1/ingest", body)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted += 3
+		case http.StatusTooManyRequests:
+			saw429 = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Error("429 without Retry-After header")
+			}
+		default:
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if !saw429 {
+		t.Fatalf("never saw 429 after %d accepted edges with queue depth 4", accepted)
+	}
+	resp := post(t, ts.URL+"/v1/flush", "")
+	if got := decode[map[string]int64](t, resp); got["items"] != int64(accepted) {
+		t.Fatalf("items after flush = %v, want exactly the %d accepted (429 must apply nothing)", got, accepted)
+	}
+}
+
+// TestIngestSyncMode: with -ingest-mode sync semantics the endpoint
+// behaves like /v1/insert (200, immediately visible).
+func TestIngestSyncMode(t *testing.T) {
+	_, ts := newAsyncTestServer(t, 4, ingest.Config{Mode: ingest.ModeSync})
+	resp := post(t, ts.URL+"/v1/ingest", `[{"s":1,"d":2,"w":3,"t":10}]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync ingest status %d, want 200", resp.StatusCode)
+	}
+	if got := decode[map[string]int](t, resp); got["inserted"] != 1 {
+		t.Fatalf("inserted = %v", got)
+	}
+	resp = get(t, ts.URL+"/v1/edge?s=1&d=2&ts=0&te=100")
+	if got := decode[map[string]int64](t, resp); got["weight"] != 3 {
+		t.Fatalf("weight = %v, want 3 without flush", got)
+	}
+}
+
+// TestIngestBadRequests: method and body validation mirror /v1/insert.
+func TestIngestBadRequests(t *testing.T) {
+	_, ts := newAsyncTestServer(t, 2, ingest.Config{Mode: ingest.ModeAsync})
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"GET", "/v1/ingest", "", http.StatusMethodNotAllowed},
+		{"POST", "/v1/ingest", `{"not":"an array"}`, http.StatusBadRequest},
+		{"GET", "/v1/flush", "", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+}
+
+// TestConcurrentIngestFlushQuery drives concurrent async posters, flushes,
+// and queries through the HTTP layer (run with -race), then checks the
+// flush barrier accounted for every accepted edge.
+func TestConcurrentIngestFlushQuery(t *testing.T) {
+	_, ts := newAsyncTestServer(t, 8, ingest.Config{Mode: ingest.ModeAsync, QueueDepth: 64, CommitInterval: 500 * time.Microsecond})
+	const posters, batches = 4, 30
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				body := fmt.Sprintf(`[{"s":%d,"d":%d,"w":1,"t":%d},{"s":%d,"d":%d,"w":1,"t":%d}]`,
+					p*1000+b, b, b*10, p*1000+b+500, b, b*10)
+				for {
+					resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					code := resp.StatusCode
+					resp.Body.Close()
+					if code == http.StatusAccepted {
+						accepted.Add(2)
+						break
+					}
+					if code != http.StatusTooManyRequests {
+						t.Errorf("ingest status %d", code)
+						return
+					}
+				}
+			}
+		}(p)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				resp := post(t, ts.URL+"/v1/flush", "")
+				resp.Body.Close()
+				resp = get(t, fmt.Sprintf("%s/v1/vertex?v=%d&dir=in&ts=0&te=1000", ts.URL, b))
+				resp.Body.Close()
+			}
+		}(p)
+	}
+	wg.Wait()
+	resp := post(t, ts.URL+"/v1/flush", "")
+	if got := decode[map[string]int64](t, resp); got["items"] != accepted.Load() {
+		t.Fatalf("items = %v, want %d accepted", got, accepted.Load())
 	}
 }

@@ -149,12 +149,7 @@ func (s *Summary) Insert(e stream.Edge) {
 // order within a shard is preserved.
 func (s *Summary) InsertBatch(edges []stream.Edge) {
 	if len(s.slots) == 1 {
-		sl := s.slots[0]
-		sl.mu.Lock()
-		for _, e := range edges {
-			sl.sum.Insert(e)
-		}
-		sl.mu.Unlock()
+		s.InsertShard(0, edges)
 		return
 	}
 	groups := make(map[int][]stream.Edge)
@@ -163,13 +158,23 @@ func (s *Summary) InsertBatch(edges []stream.Edge) {
 		groups[i] = append(groups[i], e)
 	}
 	for i, g := range groups {
-		sl := s.slots[i]
-		sl.mu.Lock()
-		for _, e := range g {
-			sl.sum.Insert(e)
-		}
-		sl.mu.Unlock()
+		s.InsertShard(i, g)
 	}
+}
+
+// InsertShard applies a batch of stream items that all belong to shard i
+// under a single write-lock acquisition — the group-commit primitive
+// internal/ingest builds on (DESIGN.md §9). Every edge must satisfy
+// ShardFor(e.S) == i; routing an edge to the wrong shard silently corrupts
+// query results, so only callers that partition with ShardFor (as
+// InsertBatch and the ingest committers do) may use this.
+func (s *Summary) InsertShard(i int, edges []stream.Edge) {
+	sl := s.slots[i]
+	sl.mu.Lock()
+	for _, e := range edges {
+		sl.sum.Insert(e)
+	}
+	sl.mu.Unlock()
 }
 
 // Delete removes one previously inserted item from the shard of its source
@@ -306,7 +311,11 @@ func (s *Summary) Finalize() {
 }
 
 // Close releases per-shard background resources. The summary remains
-// queryable.
+// queryable, and Close takes every shard's write lock, so it serializes
+// behind in-flight mutations rather than interrupting them. Close does NOT
+// drain asynchronous ingest queues layered above this package: callers
+// running an ingest.Pipeline must close the pipeline first (which applies
+// everything still queued) and only then close the summary (DESIGN.md §9).
 func (s *Summary) Close() {
 	s.eachShard(func(sl *slot) {
 		sl.mu.Lock()
