@@ -22,6 +22,9 @@
 //	GET  /v1/vertex?v=1&dir=out&ts=0&te=200
 //	GET  /v1/path?v=1,2,3&ts=0&te=200
 //	POST /v1/subgraph  {"edges":[[1,2],[2,3]],"ts":0,"te":200}
+//	POST /v2/query     [{"kind":"edge","s":1,"d":2,"ts":0,"te":200}, ...]
+//	                   (batch: ≤ 1 read-lock acquisition per shard, per-item errors)
+//	GET  /healthz      (load-balancer probe: shard count + ingest mode, no locks)
 //	GET  /v1/stats
 //	GET  /v1/snapshot  (binary download)   POST /v1/snapshot (restore)
 //

@@ -52,6 +52,35 @@ func ExampleSummary_Delete() {
 	// 0
 }
 
+// DoBatch answers a mixed batch of query kinds with at most one
+// read-lock acquisition per shard; invalid queries error in their own
+// Result slot without failing the batch.
+func ExampleSharded_DoBatch() {
+	s, _ := higgs.NewSharded(higgs.DefaultShardedConfig())
+	defer s.Close()
+	s.Insert(higgs.Edge{S: 1, D: 2, W: 3, T: 100})
+	s.Insert(higgs.Edge{S: 2, D: 3, W: 5, T: 200})
+
+	results := s.DoBatch([]higgs.Query{
+		higgs.EdgeQuery(1, 2, 0, 250),
+		higgs.VertexInQuery(3, 0, 250),
+		higgs.PathQuery([]uint64{1, 2, 3}, 0, 250),
+		higgs.EdgeQuery(1, 2, 250, 0), // inverted window: per-query error
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Println("error:", r.Err)
+			continue
+		}
+		fmt.Println(r.Weight)
+	}
+	// Output:
+	// 3
+	// 5
+	// 8
+	// error: inverted time range: te = 0 < ts = 250
+}
+
 // FromStream bulk-loads and finalizes in one call.
 func ExampleFromStream() {
 	stream := higgs.Stream{

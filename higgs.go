@@ -27,6 +27,7 @@ import (
 
 	"higgs/internal/core"
 	"higgs/internal/ingest"
+	"higgs/internal/query"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
 )
@@ -45,7 +46,7 @@ type Config = core.Config
 
 // Summary is a HIGGS graph stream summary. See package core for full
 // method documentation: Insert, Delete, EdgeWeight, VertexOut, VertexIn,
-// PathWeight, SubgraphWeight, Finalize, Stats.
+// PathWeight, SubgraphWeight, Expire, Finalize, Stats.
 type Summary = core.Summary
 
 // Stats reports structural statistics of a summary.
@@ -88,9 +89,13 @@ func Load(r io.Reader) (*Summary, error) { return core.Read(r) }
 // Sharded is a hash-partitioned HIGGS summary: edges are partitioned by
 // source vertex across independent shards, each behind its own lock, so
 // ingest parallelizes and queries fan out concurrently. Unlike Summary, a
-// Sharded is safe for concurrent use by multiple goroutines. See package
-// shard for full method documentation and DESIGN.md §8 for the
-// partitioning model.
+// Sharded is safe for concurrent use by multiple goroutines. Besides the
+// per-kind query methods it answers unified queries via Do and DoBatch
+// (the batch path acquires at most one read lock per shard per batch; see
+// Query), and it supports sliding-window operation via Expire, which
+// drops fully expired subtrees shard by shard under the shards' write
+// locks. See package shard for full method documentation and DESIGN.md §8
+// for the partitioning model.
 type Sharded = shard.Summary
 
 // ShardedConfig parameterizes a sharded summary: the shard count and the
@@ -148,3 +153,48 @@ func DefaultIngestConfig() IngestConfig { return ingest.DefaultConfig() }
 // pipeline does not own the summary: close the pipeline first (draining
 // accepted edges), then the summary.
 func NewIngest(s *Sharded, cfg IngestConfig) (*Ingest, error) { return ingest.New(s, cfg) }
+
+// Query describes one temporal range query of any kind — edge, vertex
+// (out / in), path, or subgraph — over a closed [Ts, Te] window; build
+// them with the EdgeQuery, VertexOutQuery, VertexInQuery, PathQuery, and
+// SubgraphQuery constructors. Execute via Sharded.Do or, for whole
+// batches answered under at most one read-lock acquisition per shard,
+// Sharded.DoBatch (DESIGN.md §11). Its JSON form is the wire format of
+// the server's POST /v2/query endpoint. See package query for details.
+type Query = query.Query
+
+// Result is the answer to one Query: the estimated aggregated weight
+// (never an under-estimate), or the query's validation error.
+type Result = query.Result
+
+// QueryKind selects the temporal query kind of a Query. It marshals to
+// and from its wire name ("edge", "vertex_out", "vertex_in", "path",
+// "subgraph").
+type QueryKind = query.Kind
+
+// The temporal query kinds.
+const (
+	QueryEdge      = query.KindEdge
+	QueryVertexOut = query.KindVertexOut
+	QueryVertexIn  = query.KindVertexIn
+	QueryPath      = query.KindPath
+	QuerySubgraph  = query.KindSubgraph
+)
+
+// ParseQueryKind maps a wire name ("edge", "vertex_out", ...) to its kind.
+func ParseQueryKind(s string) (QueryKind, error) { return query.ParseKind(s) }
+
+// EdgeQuery returns an edge-weight query for s→d over [ts, te].
+func EdgeQuery(s, d uint64, ts, te int64) Query { return query.NewEdge(s, d, ts, te) }
+
+// VertexOutQuery returns an outgoing vertex-weight query for v over [ts, te].
+func VertexOutQuery(v uint64, ts, te int64) Query { return query.NewVertexOut(v, ts, te) }
+
+// VertexInQuery returns an incoming vertex-weight query for v over [ts, te].
+func VertexInQuery(v uint64, ts, te int64) Query { return query.NewVertexIn(v, ts, te) }
+
+// PathQuery returns a path-weight query along path over [ts, te].
+func PathQuery(path []uint64, ts, te int64) Query { return query.NewPath(path, ts, te) }
+
+// SubgraphQuery returns a subgraph-weight query over the edge set in [ts, te].
+func SubgraphQuery(edges [][2]uint64, ts, te int64) Query { return query.NewSubgraph(edges, ts, te) }

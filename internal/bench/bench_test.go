@@ -79,7 +79,7 @@ func TestCompetitorsBuildAndAgree(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 18 {
+	if len(Experiments()) != 19 {
 		t.Fatalf("registry has %d experiments", len(Experiments()))
 	}
 	var buf bytes.Buffer
@@ -105,7 +105,7 @@ func TestExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke suite is moderately expensive")
 	}
-	for _, id := range []string{"fig10", "fig11", "fig12", "fig13", "fig16", "fig18", "fig19", "fig20", "fig21", "ablation", "budget", "reverse", "sharded", "asyncingest"} {
+	for _, id := range []string{"fig10", "fig11", "fig12", "fig13", "fig16", "fig18", "fig19", "fig20", "fig21", "ablation", "budget", "reverse", "sharded", "asyncingest", "batchquery"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			var buf bytes.Buffer
@@ -114,7 +114,7 @@ func TestExperimentsSmoke(t *testing.T) {
 			}
 			out := buf.String()
 			switch id {
-			case "fig20", "fig21", "ablation", "budget", "reverse", "sharded", "asyncingest":
+			case "fig20", "fig21", "ablation", "budget", "reverse", "sharded", "asyncingest", "batchquery":
 				if !strings.Contains(out, "lkml") {
 					t.Fatalf("%s output missing dataset rows:\n%s", id, out)
 				}

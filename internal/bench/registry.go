@@ -29,6 +29,7 @@ var registry = []Experiment{
 	{"reverse", "Extra: gMatrix reverse heavy-hitter queries", ReverseQueries},
 	{"sharded", "Extra: sharded ingest scaling (internal/shard)", ShardedIngest},
 	{"asyncingest", "Extra: async group-commit ingest vs sync (internal/ingest)", AsyncIngest},
+	{"batchquery", "Extra: batched vs per-call queries (internal/query)", BatchQuery},
 }
 
 // Experiments lists all registered experiments in presentation order.

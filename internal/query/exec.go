@@ -1,0 +1,167 @@
+package query
+
+import "sync"
+
+// Op selects the single-shard primitive a Probe evaluates.
+type Op uint8
+
+// The single-shard probe primitives. Every query kind decomposes into
+// them: an edge query is one OpEdge probe in the source's shard, a path or
+// subgraph query is one OpEdge probe per constituent edge, a vertex-out
+// query is one OpVertexOut probe, and a vertex-in query is one OpVertexIn
+// probe per shard (incoming edges are scattered by their sources, so each
+// shard contributes a partial estimate).
+const (
+	OpEdge      Op = iota // weight of edge S→D in [Ts, Te]
+	OpVertexOut           // out-weight of vertex S in [Ts, Te]
+	OpVertexIn            // this shard's share of the in-weight of vertex S
+)
+
+// Probe is one single-shard primitive of a planned query. Vertex probes
+// carry the vertex in S.
+type Probe struct {
+	Op     Op
+	S, D   uint64
+	Ts, Te int64
+}
+
+// Prober is the sharded read surface the executor drives; package shard
+// implements it.
+type Prober interface {
+	// NumShards returns the number of partitions.
+	NumShards() int
+	// ShardFor returns the shard owning edges whose source vertex is v.
+	ShardFor(v uint64) int
+	// ProbeShard evaluates every probe against shard i under a single
+	// read-lock acquisition, writing probe j's estimate to out[j].
+	ProbeShard(i int, probes []Probe, out []int64)
+}
+
+// Do answers one query. It is the one-element case of DoBatch: invalid
+// queries come back with Err set, single-shard kinds touch only their
+// shard, and fan-out kinds visit each shard once. Single-probe kinds
+// (edge, vertex-out) skip batch planning entirely — their plan is always
+// one probe in one shard — which keeps the per-kind wrapper methods close
+// to their historical direct-lookup cost on hot paths.
+func Do(p Prober, q Query) Result {
+	switch q.Kind {
+	case KindEdge, KindVertexOut:
+		if err := q.Validate(); err != nil {
+			return Result{Err: err}
+		}
+		pr := Probe{Op: OpEdge, S: q.S, D: q.D, Ts: q.Ts, Te: q.Te}
+		if q.Kind == KindVertexOut {
+			pr = Probe{Op: OpVertexOut, S: q.V, Ts: q.Ts, Te: q.Te}
+		}
+		var out [1]int64
+		p.ProbeShard(p.ShardFor(pr.S), []Probe{pr}, out[:])
+		return Result{Weight: out[0]}
+	}
+	return DoBatch(p, []Query{q})[0]
+}
+
+// DoBatch answers a batch of queries, visiting every shard at most once:
+// the constituent probes of all valid queries are grouped by shard, each
+// shard's group is evaluated under a single read-lock acquisition
+// (concurrently across shards when more than one is touched), and each
+// query's estimate is the sum of its probes' results — the same one-sided
+// merge the per-kind methods perform, amortized over the batch.
+//
+// Results align with the input: res[i] answers qs[i], carrying either its
+// weight or its validation error. Invalid queries do not affect their
+// neighbors.
+func DoBatch(p Prober, qs []Query) []Result {
+	res := make([]Result, len(qs))
+	n := p.NumShards()
+
+	// Plan: expand each query into probes. Slots — indices into the flat
+	// result vector — are assigned in expansion order, so each query owns a
+	// contiguous span and merging is a span sum.
+	type span struct{ start, end int }
+	var (
+		spans       = make([]span, len(qs))
+		shardProbes = make([][]Probe, n)
+		shardSlots  = make([][]int, n)
+		slot        int
+	)
+	add := func(i int, pr Probe) {
+		shardProbes[i] = append(shardProbes[i], pr)
+		shardSlots[i] = append(shardSlots[i], slot)
+		slot++
+	}
+	for qi, q := range qs {
+		if err := q.Validate(); err != nil {
+			res[qi].Err = err
+			continue
+		}
+		spans[qi].start = slot
+		switch q.Kind {
+		case KindEdge:
+			add(p.ShardFor(q.S), Probe{Op: OpEdge, S: q.S, D: q.D, Ts: q.Ts, Te: q.Te})
+		case KindVertexOut:
+			add(p.ShardFor(q.V), Probe{Op: OpVertexOut, S: q.V, Ts: q.Ts, Te: q.Te})
+		case KindVertexIn:
+			for i := 0; i < n; i++ {
+				add(i, Probe{Op: OpVertexIn, S: q.V, Ts: q.Ts, Te: q.Te})
+			}
+		case KindPath:
+			for i := 0; i+1 < len(q.Path); i++ {
+				add(p.ShardFor(q.Path[i]), Probe{Op: OpEdge, S: q.Path[i], D: q.Path[i+1], Ts: q.Ts, Te: q.Te})
+			}
+		case KindSubgraph:
+			for _, e := range q.Edges {
+				add(p.ShardFor(e[0]), Probe{Op: OpEdge, S: e[0], D: e[1], Ts: q.Ts, Te: q.Te})
+			}
+		}
+		spans[qi].end = slot
+	}
+
+	// Execute: one ProbeShard call — one read-lock acquisition — per
+	// touched shard. Concurrent goroutines write disjoint slots.
+	vals := make([]int64, slot)
+	runShard := func(i int) {
+		out := make([]int64, len(shardProbes[i]))
+		p.ProbeShard(i, shardProbes[i], out)
+		for j, s := range shardSlots[i] {
+			vals[s] = out[j]
+		}
+	}
+	touched, last := 0, -1
+	for i := range shardProbes {
+		if len(shardProbes[i]) > 0 {
+			touched++
+			last = i
+		}
+	}
+	switch touched {
+	case 0:
+	case 1:
+		runShard(last)
+	default:
+		var wg sync.WaitGroup
+		for i := range shardProbes {
+			if len(shardProbes[i]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runShard(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Merge: each valid query is the sum of its span.
+	for qi := range qs {
+		if res[qi].Err != nil {
+			continue
+		}
+		var sum int64
+		for s := spans[qi].start; s < spans[qi].end; s++ {
+			sum += vals[s]
+		}
+		res[qi].Weight = sum
+	}
+	return res
+}

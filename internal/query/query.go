@@ -1,0 +1,177 @@
+// Package query defines the unified temporal query surface of this
+// repository (DESIGN.md §11): one Query value describes any of the paper's
+// temporal query kinds (§V) — edge, vertex (out / in), path, and subgraph —
+// over a closed [Ts, Te] window, one Result carries its estimated weight or
+// its per-query error, and the executor answers whole batches with at most
+// one read-lock acquisition per shard per batch.
+//
+// The package knows nothing about HIGGS internals. Planning decomposes
+// every query into probes — the three single-shard primitives (edge weight,
+// vertex out-weight, vertex in-weight) — and the executor drives any
+// backend implementing Prober, grouping probes by shard so each shard is
+// visited exactly once per batch. Package shard implements Prober; every
+// merged answer is a sum of per-shard one-sided estimates, so the
+// never-underestimate guarantee of package core carries through unchanged.
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind selects the temporal query primitive a Query evaluates.
+type Kind uint8
+
+// The temporal query kinds (paper §V). A vertex query splits into its two
+// directions: out-weight is a single-shard lookup, in-weight fans out.
+// The zero Kind is deliberately invalid, so a JSON query missing its
+// "kind" field fails validation instead of silently becoming an edge
+// query.
+const (
+	kindMissing   Kind = iota // zero value: no kind given
+	KindEdge                  // aggregated weight of edge S→D
+	KindVertexOut             // aggregated weight of V's outgoing edges
+	KindVertexIn              // aggregated weight of V's incoming edges
+	KindPath                  // sum of edge weights along Path
+	KindSubgraph              // total weight of the Edges set
+)
+
+// kindNames is the wire form of each Kind, in declaration order; the
+// zero Kind has no wire form.
+var kindNames = [...]string{"", "edge", "vertex_out", "vertex_in", "path", "subgraph"}
+
+// String returns the wire name of the kind ("edge", "vertex_out", ...).
+func (k Kind) String() string {
+	if k != kindMissing && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind maps a wire name back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for i := int(KindEdge); i < len(kindNames); i++ {
+		if s == kindNames[i] {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown query kind %q (want one of %s)", s, strings.Join(kindNames[KindEdge:], ", "))
+}
+
+// MarshalText encodes the kind as its wire name, so Query serializes
+// naturally with encoding/json.
+func (k Kind) MarshalText() ([]byte, error) {
+	if k == kindMissing || int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("unknown query kind %d", uint8(k))
+	}
+	return []byte(kindNames[k]), nil
+}
+
+// UnmarshalText decodes a wire name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	kk, err := ParseKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = kk
+	return nil
+}
+
+// Query describes one temporal range query. Only the fields of its Kind
+// are consulted: S/D for an edge query, V for the vertex queries, Path for
+// a path query, Edges for a subgraph query. The window [Ts, Te] is closed
+// on both ends and must satisfy Te ≥ Ts.
+//
+// The JSON form is the /v2/query wire format: Kind marshals as its name
+// and unused fields are omitted, e.g.
+//
+//	{"kind":"edge","s":1,"d":2,"ts":0,"te":100}
+//	{"kind":"path","path":[1,2,3],"ts":0,"te":100}
+type Query struct {
+	Kind  Kind        `json:"kind"`
+	S     uint64      `json:"s,omitempty"`     // edge source (KindEdge)
+	D     uint64      `json:"d,omitempty"`     // edge destination (KindEdge)
+	V     uint64      `json:"v,omitempty"`     // vertex (KindVertexOut, KindVertexIn)
+	Path  []uint64    `json:"path,omitempty"`  // ≥ 2 vertices (KindPath)
+	Edges [][2]uint64 `json:"edges,omitempty"` // edge set (KindSubgraph)
+	Ts    int64       `json:"ts"`
+	Te    int64       `json:"te"`
+}
+
+// NewEdge returns an edge-weight query for s→d over [ts, te].
+func NewEdge(s, d uint64, ts, te int64) Query {
+	return Query{Kind: KindEdge, S: s, D: d, Ts: ts, Te: te}
+}
+
+// NewVertexOut returns an outgoing vertex-weight query for v over [ts, te].
+func NewVertexOut(v uint64, ts, te int64) Query {
+	return Query{Kind: KindVertexOut, V: v, Ts: ts, Te: te}
+}
+
+// NewVertexIn returns an incoming vertex-weight query for v over [ts, te].
+func NewVertexIn(v uint64, ts, te int64) Query {
+	return Query{Kind: KindVertexIn, V: v, Ts: ts, Te: te}
+}
+
+// NewPath returns a path-weight query along path over [ts, te].
+func NewPath(path []uint64, ts, te int64) Query {
+	return Query{Kind: KindPath, Path: path, Ts: ts, Te: te}
+}
+
+// NewSubgraph returns a subgraph-weight query over the edge set in [ts, te].
+func NewSubgraph(edges [][2]uint64, ts, te int64) Query {
+	return Query{Kind: KindSubgraph, Edges: edges, Ts: ts, Te: te}
+}
+
+// Validate reports why the query cannot be answered: a missing or
+// unknown kind, an inverted time window, or a path too short to contain
+// an edge. An empty subgraph is valid and answers zero.
+func (q Query) Validate() error {
+	switch q.Kind {
+	case KindEdge, KindVertexOut, KindVertexIn, KindSubgraph:
+	case KindPath:
+		if len(q.Path) < 2 {
+			return fmt.Errorf("path query needs ≥ 2 vertices, got %d", len(q.Path))
+		}
+	case kindMissing:
+		return fmt.Errorf("missing query kind (want one of %s)", strings.Join(kindNames[KindEdge:], ", "))
+	default:
+		return fmt.Errorf("unknown query kind %d", uint8(q.Kind))
+	}
+	if q.Te < q.Ts {
+		return fmt.Errorf("inverted time range: te = %d < ts = %d", q.Te, q.Ts)
+	}
+	return nil
+}
+
+// Result is the answer to one Query: the estimated aggregated weight, or
+// the per-query validation error. A weight is a sum of per-shard one-sided
+// estimates and never under-estimates the truth.
+type Result struct {
+	Weight int64
+	Err    error
+}
+
+// ProbeCount returns how many single-shard probes the query plans on an
+// n-shard backend — what its execution will cost — without planning it: 1
+// for edge and vertex-out, n for vertex-in (one partial estimate per
+// shard), one per constituent edge for path and subgraph. Invalid queries
+// plan nothing and count 0 (the executor rejects them before expansion),
+// so they can never push a batch over an admission budget. Admission
+// layers use this to bound a batch's total work up front.
+func (q Query) ProbeCount(n int) int {
+	if q.Validate() != nil {
+		return 0
+	}
+	switch q.Kind {
+	case KindEdge, KindVertexOut:
+		return 1
+	case KindVertexIn:
+		return n
+	case KindPath:
+		return len(q.Path) - 1
+	case KindSubgraph:
+		return len(q.Edges)
+	}
+	return 0
+}

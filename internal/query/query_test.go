@@ -1,0 +1,345 @@
+package query
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeEdge is one inserted item of the exact in-memory backend.
+type fakeEdge struct {
+	s, d uint64
+	w    int64
+	t    int64
+}
+
+// fakeProber is an exact sharded store partitioning by s % shards. It
+// counts ProbeShard calls so tests can assert the one-visit-per-shard
+// contract, and records the largest probe group it received.
+type fakeProber struct {
+	shards int
+
+	mu       sync.Mutex
+	parts    [][]fakeEdge
+	calls    int
+	perShard map[int]int // ProbeShard calls per shard (current batch)
+}
+
+func newFakeProber(shards int) *fakeProber {
+	return &fakeProber{
+		shards:   shards,
+		parts:    make([][]fakeEdge, shards),
+		perShard: make(map[int]int),
+	}
+}
+
+func (f *fakeProber) insert(e fakeEdge) {
+	i := f.ShardFor(e.s)
+	f.parts[i] = append(f.parts[i], e)
+}
+
+func (f *fakeProber) NumShards() int        { return f.shards }
+func (f *fakeProber) ShardFor(v uint64) int { return int(v % uint64(f.shards)) }
+
+func (f *fakeProber) ProbeShard(i int, probes []Probe, out []int64) {
+	f.mu.Lock()
+	f.calls++
+	f.perShard[i]++
+	f.mu.Unlock()
+	for j, p := range probes {
+		var sum int64
+		for _, e := range f.parts[i] {
+			if e.t < p.Ts || e.t > p.Te {
+				continue
+			}
+			switch p.Op {
+			case OpEdge:
+				if e.s == p.S && e.d == p.D {
+					sum += e.w
+				}
+			case OpVertexOut:
+				if e.s == p.S {
+					sum += e.w
+				}
+			case OpVertexIn:
+				if e.d == p.S {
+					sum += e.w
+				}
+			}
+		}
+		out[j] = sum
+	}
+}
+
+func (f *fakeProber) resetCounts() {
+	f.mu.Lock()
+	f.calls = 0
+	f.perShard = make(map[int]int)
+	f.mu.Unlock()
+}
+
+// seedFake fills the store with a small deterministic graph.
+func seedFake(f *fakeProber) {
+	for _, e := range []fakeEdge{
+		{1, 2, 3, 10},
+		{1, 2, 4, 20},
+		{1, 3, 5, 30},
+		{2, 3, 7, 40},
+		{3, 1, 2, 50},
+		{4, 1, 9, 60},
+		{5, 2, 1, 70},
+	} {
+		f.insert(e)
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for k := KindEdge; k <= KindSubgraph; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("sideways"); err == nil {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+	if _, err := Kind(99).MarshalText(); err == nil {
+		t.Fatal("MarshalText accepted an out-of-range kind")
+	}
+}
+
+func TestQueryJSONRoundTrip(t *testing.T) {
+	qs := []Query{
+		NewEdge(1, 2, 0, 100),
+		NewVertexOut(7, 5, 10),
+		NewVertexIn(7, 5, 10),
+		NewPath([]uint64{1, 2, 3}, 0, 9),
+		NewSubgraph([][2]uint64{{1, 2}, {2, 3}}, 0, 9),
+	}
+	blob, err := json.Marshal(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"kind":"vertex_out"`) {
+		t.Fatalf("kind not marshaled by name: %s", blob)
+	}
+	var back []Query
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if qs[i].Kind != back[i].Kind || qs[i].Ts != back[i].Ts || qs[i].Te != back[i].Te {
+			t.Fatalf("round trip diverged at %d: %+v vs %+v", i, qs[i], back[i])
+		}
+	}
+	var bad Query
+	if err := json.Unmarshal([]byte(`{"kind":"sideways","ts":0,"te":1}`), &bad); err == nil {
+		t.Fatal("unmarshal accepted an unknown kind")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		q       Query
+		wantErr string
+	}{
+		{NewEdge(1, 2, 0, 10), ""},
+		{NewEdge(1, 2, 10, 10), ""}, // single-instant window is valid
+		{NewEdge(1, 2, 10, 5), "inverted time range"},
+		{NewPath([]uint64{1}, 0, 10), "≥ 2 vertices"},
+		{NewPath(nil, 0, 10), "≥ 2 vertices"},
+		{NewSubgraph(nil, 0, 10), ""}, // empty subgraph answers zero
+		{Query{Kind: Kind(42), Ts: 0, Te: 1}, "unknown query kind"},
+	}
+	for _, c := range cases {
+		err := c.q.Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("Validate(%+v) = %v, want nil", c.q, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", c.q, err, c.wantErr)
+		}
+	}
+}
+
+func TestDoAnswersEveryKind(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		f := newFakeProber(shards)
+		seedFake(f)
+		cases := []struct {
+			q    Query
+			want int64
+		}{
+			{NewEdge(1, 2, 0, 100), 7},
+			{NewEdge(1, 2, 0, 15), 3},
+			{NewEdge(9, 9, 0, 100), 0},
+			{NewVertexOut(1, 0, 100), 12},
+			{NewVertexIn(2, 0, 100), 8},  // 1→2 (3+4) and 5→2 (1)
+			{NewVertexIn(1, 0, 100), 11}, // 3→1 (2) and 4→1 (9)
+			{NewPath([]uint64{1, 2, 3}, 0, 100), 14},
+			{NewPath([]uint64{1, 2, 3}, 0, 35), 7}, // 2→3@40 outside window
+			{NewSubgraph([][2]uint64{{1, 3}, {4, 1}}, 0, 100), 14},
+			{NewSubgraph(nil, 0, 100), 0},
+		}
+		for _, c := range cases {
+			r := Do(f, c.q)
+			if r.Err != nil {
+				t.Fatalf("shards=%d Do(%+v): %v", shards, c.q, r.Err)
+			}
+			if r.Weight != c.want {
+				t.Errorf("shards=%d Do(%+v) = %d, want %d", shards, c.q, r.Weight, c.want)
+			}
+		}
+	}
+}
+
+func TestDoBatchMatchesDo(t *testing.T) {
+	f := newFakeProber(4)
+	seedFake(f)
+	batch := []Query{
+		NewEdge(1, 2, 0, 100),
+		NewVertexOut(1, 0, 100),
+		NewVertexIn(2, 0, 100),
+		NewPath([]uint64{1, 2, 3}, 0, 100),
+		NewSubgraph([][2]uint64{{1, 3}, {4, 1}}, 0, 100),
+		NewEdge(5, 2, 60, 80),
+	}
+	got := DoBatch(f, batch)
+	if len(got) != len(batch) {
+		t.Fatalf("DoBatch returned %d results for %d queries", len(got), len(batch))
+	}
+	for i, q := range batch {
+		want := Do(f, q)
+		if got[i].Err != nil || want.Err != nil {
+			t.Fatalf("unexpected error: batch %v, single %v", got[i].Err, want.Err)
+		}
+		if got[i].Weight != want.Weight {
+			t.Errorf("query %d: batch weight %d != single weight %d", i, got[i].Weight, want.Weight)
+		}
+	}
+}
+
+// TestDoBatchOneVisitPerShard pins the redesign's locking contract: a
+// batch visits each shard at most once, no matter how many queries (and
+// fan-out queries) it contains.
+func TestDoBatchOneVisitPerShard(t *testing.T) {
+	f := newFakeProber(4)
+	seedFake(f)
+	batch := []Query{
+		NewEdge(1, 2, 0, 100),
+		NewEdge(2, 3, 0, 100),
+		NewVertexOut(3, 0, 100),
+		NewVertexIn(1, 0, 100), // fans out to all 4 shards
+		NewVertexIn(2, 0, 100), // fans out again — must share the visit
+		NewPath([]uint64{1, 2, 3, 4}, 0, 100),
+		NewSubgraph([][2]uint64{{1, 2}, {5, 2}}, 0, 100),
+	}
+	f.resetCounts()
+	rs := DoBatch(f, batch)
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+	}
+	if f.calls > f.shards {
+		t.Fatalf("batch made %d ProbeShard calls across %d shards, want ≤ %d", f.calls, f.shards, f.shards)
+	}
+	for i, c := range f.perShard {
+		if c > 1 {
+			t.Fatalf("shard %d visited %d times in one batch", i, c)
+		}
+	}
+}
+
+// TestDoBatchPerQueryErrors: invalid queries error individually without
+// disturbing their neighbors.
+func TestDoBatchPerQueryErrors(t *testing.T) {
+	f := newFakeProber(2)
+	seedFake(f)
+	batch := []Query{
+		NewEdge(1, 2, 0, 100),
+		NewEdge(1, 2, 50, 10), // inverted
+		NewPath([]uint64{1}, 0, 100),
+		NewVertexOut(1, 0, 100),
+	}
+	rs := DoBatch(f, batch)
+	if rs[0].Err != nil || rs[0].Weight != 7 {
+		t.Fatalf("valid query polluted: %+v", rs[0])
+	}
+	if rs[1].Err == nil || !strings.Contains(rs[1].Err.Error(), "inverted time range") {
+		t.Fatalf("inverted range not reported: %+v", rs[1])
+	}
+	if rs[2].Err == nil || !strings.Contains(rs[2].Err.Error(), "≥ 2 vertices") {
+		t.Fatalf("short path not reported: %+v", rs[2])
+	}
+	if rs[3].Err != nil || rs[3].Weight != 12 {
+		t.Fatalf("valid query after errors polluted: %+v", rs[3])
+	}
+}
+
+func TestDoBatchEmpty(t *testing.T) {
+	f := newFakeProber(2)
+	seedFake(f)
+	f.resetCounts()
+	if rs := DoBatch(f, nil); len(rs) != 0 {
+		t.Fatalf("DoBatch(nil) = %v", rs)
+	}
+	// A batch of only invalid / probe-less queries must not touch a shard.
+	rs := DoBatch(f, []Query{NewEdge(1, 2, 9, 0), NewSubgraph(nil, 0, 9)})
+	if f.calls != 0 {
+		t.Fatalf("probe-less batch made %d ProbeShard calls", f.calls)
+	}
+	if rs[0].Err == nil || rs[1].Err != nil || rs[1].Weight != 0 {
+		t.Fatalf("unexpected results: %+v", rs)
+	}
+}
+
+// TestZeroKindInvalid: the Kind zero value (a JSON query missing its
+// "kind" field) must not be a usable query kind.
+func TestZeroKindInvalid(t *testing.T) {
+	var q Query
+	q.Ts, q.Te = 0, 10
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "missing query kind") {
+		t.Fatalf("zero-kind Validate = %v, want missing query kind", err)
+	}
+	var zero Kind
+	if _, err := zero.MarshalText(); err == nil {
+		t.Fatal("zero kind marshaled")
+	}
+	f := newFakeProber(2)
+	seedFake(f)
+	if r := Do(f, q); r.Err == nil {
+		t.Fatalf("Do answered a kind-less query: %+v", r)
+	}
+}
+
+func TestProbeCount(t *testing.T) {
+	cases := []struct {
+		q    Query
+		n    int
+		want int
+	}{
+		{NewEdge(1, 2, 0, 10), 8, 1},
+		{NewVertexOut(1, 0, 10), 8, 1},
+		{NewVertexIn(1, 0, 10), 8, 8},
+		{NewPath([]uint64{1, 2, 3}, 0, 10), 8, 2},
+		{NewSubgraph([][2]uint64{{1, 2}, {2, 3}, {3, 4}}, 0, 10), 8, 3},
+		{NewSubgraph(nil, 0, 10), 8, 0},
+		{NewVertexIn(1, 10, 0), 64, 0}, // inverted: plans nothing
+		{NewPath([]uint64{1}, 0, 10), 8, 0},
+		{Query{Kind: Kind(42), Ts: 0, Te: 1}, 8, 0},
+		{Query{Ts: 0, Te: 1}, 8, 0}, // missing kind
+	}
+	for _, c := range cases {
+		if got := c.q.ProbeCount(c.n); got != c.want {
+			t.Errorf("ProbeCount(%+v, %d) = %d, want %d", c.q, c.n, got, c.want)
+		}
+	}
+}

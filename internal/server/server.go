@@ -10,6 +10,17 @@
 // requests hitting different shards proceed in parallel — there is no
 // server-global lock (DESIGN.md §8).
 //
+// Reads have two surfaces over one engine. The /v1/* query endpoints take
+// one question each; POST /v2/query takes a JSON array of them and answers
+// the whole batch with at most one read-lock acquisition per shard
+// (internal/query, DESIGN.md §11). Both run the same planner — every /v1
+// query handler is a one-element batch — so the two surfaces can never
+// disagree. /v2/query reports item-level problems (an unknown kind, an
+// inverted window, a malformed item) per item in the response array; 400
+// is reserved for a malformed envelope. GET /healthz is the load-balancer
+// probe: it reports the serving configuration without touching a shard
+// lock or any query path.
+//
 // Writes have two admission paths. /v1/insert is always synchronous: 200
 // means the edges are applied and visible. /v1/ingest goes through the
 // group-commit pipeline of package ingest (DESIGN.md §9): 202 means the
@@ -23,15 +34,18 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"higgs/internal/ingest"
+	"higgs/internal/query"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
 )
@@ -129,6 +143,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/subgraph", s.handleSubgraph)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v2/query", s.handleQueryBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -242,8 +258,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]bool{"deleted": ok})
 }
 
-// queryRange parses the ts/te query parameters, rejecting inverted ranges.
-func queryRange(r *http.Request) (ts, te int64, err error) {
+// queryWindow parses the ts/te query parameters. Window validity (te ≥ ts)
+// is the query planner's job — see query.Query.Validate — so only parse
+// failures are reported here.
+func queryWindow(r *http.Request) (ts, te int64, err error) {
 	ts, err = strconv.ParseInt(r.URL.Query().Get("ts"), 10, 64)
 	if err != nil {
 		return 0, 0, fmt.Errorf("ts: %w", err)
@@ -251,9 +269,6 @@ func queryRange(r *http.Request) (ts, te int64, err error) {
 	te, err = strconv.ParseInt(r.URL.Query().Get("te"), 10, 64)
 	if err != nil {
 		return 0, 0, fmt.Errorf("te: %w", err)
-	}
-	if te < ts {
-		return 0, 0, fmt.Errorf("inverted time range: te = %d < ts = %d", te, ts)
 	}
 	return ts, te, nil
 }
@@ -266,43 +281,56 @@ func queryU64(r *http.Request, key string) (uint64, error) {
 	return v, nil
 }
 
+// answerOne runs one query through the same planner /v2/query batches use
+// (a one-element batch) and writes the v1-shaped response: 400 on a query
+// validation error — an inverted time range, a too-short path — 200 with
+// {"weight": ...} otherwise.
+func (s *Server) answerOne(w http.ResponseWriter, q query.Query) {
+	res := s.summary().Do(q)
+	if res.Err != nil {
+		httpError(w, http.StatusBadRequest, "%v", res.Err)
+		return
+	}
+	writeJSON(w, map[string]int64{"weight": res.Weight})
+}
+
 func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	sv, err1 := queryU64(r, "s")
 	dv, err2 := queryU64(r, "d")
-	ts, te, err3 := queryRange(r)
+	ts, te, err3 := queryWindow(r)
 	for _, err := range []error{err1, err2, err3} {
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
-	writeJSON(w, map[string]int64{"weight": s.summary().EdgeWeight(sv, dv, ts, te)})
+	s.answerOne(w, query.NewEdge(sv, dv, ts, te))
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	v, err1 := queryU64(r, "v")
-	ts, te, err2 := queryRange(r)
+	ts, te, err2 := queryWindow(r)
 	for _, err := range []error{err1, err2} {
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
-	var weight int64
+	var q query.Query
 	switch r.URL.Query().Get("dir") {
 	case "", "out":
-		weight = s.summary().VertexOut(v, ts, te)
+		q = query.NewVertexOut(v, ts, te)
 	case "in":
-		weight = s.summary().VertexIn(v, ts, te)
+		q = query.NewVertexIn(v, ts, te)
 	default:
 		httpError(w, http.StatusBadRequest, "dir must be \"out\" or \"in\"")
 		return
 	}
-	writeJSON(w, map[string]int64{"weight": weight})
+	s.answerOne(w, q)
 }
 
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
-	ts, te, err := queryRange(r)
+	ts, te, err := queryWindow(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -321,7 +349,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		}
 		path[i] = v
 	}
-	writeJSON(w, map[string]int64{"weight": s.summary().PathWeight(path, ts, te)})
+	s.answerOne(w, query.NewPath(path, ts, te))
 }
 
 // subgraphRequest is the POST body of /v1/subgraph.
@@ -343,11 +371,137 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
-	if req.Te < req.Ts {
-		httpError(w, http.StatusBadRequest, "inverted time range: te = %d < ts = %d", req.Te, req.Ts)
+	s.answerOne(w, query.NewSubgraph(req.Edges, req.Ts, req.Te))
+}
+
+// maxBatchQueries bounds one /v2/query envelope; a larger batch is a
+// malformed request, not a bigger lock amortization.
+const maxBatchQueries = 65536
+
+// maxBatchBody bounds the /v2/query request body (8 MiB), enforced with
+// http.MaxBytesReader before decoding.
+const maxBatchBody = 8 << 20
+
+// maxBatchProbes bounds what one /v2/query envelope may expand to. Body
+// bytes alone do not bound execution cost: a ~45-byte vertex_in item
+// plans one probe per shard, so a small body on a many-shard summary
+// could plan millions of probes. The planner's cost is counted up front
+// with Query.ProbeCount and an over-budget envelope is rejected whole.
+const maxBatchProbes = 1 << 20
+
+// batchResult is the JSON representation of one /v2/query answer: exactly
+// one of Weight and Error is present.
+type batchResult struct {
+	Weight *int64 `json:"weight,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleQueryBatch implements POST /v2/query: a JSON array of queries in
+// (the query.Query wire format), an aligned JSON array of per-item answers
+// out, the whole batch answered with at most one read-lock acquisition per
+// shard (internal/query, DESIGN.md §11). Item-level problems — a malformed
+// item, an unknown kind, an inverted window, a too-short path — are
+// reported in that item's slot without disturbing its neighbors; 400 is
+// returned only when the envelope itself is malformed (not a JSON array,
+// or over the batch size limit).
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	writeJSON(w, map[string]int64{"weight": s.summary().SubgraphWeight(req.Edges, req.Ts, req.Te)})
+	raws, err := decodeBatchEnvelope(w, r)
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	out := make([]batchResult, len(raws))
+	batch := make([]query.Query, 0, len(raws))
+	idx := make([]int, 0, len(raws)) // out-slot of each decodable item
+	// One summary for both admission and execution: a concurrent snapshot
+	// upload must not let a batch budgeted against few shards execute
+	// against many (or be spuriously rejected in the shrink direction).
+	sum := s.summary()
+	shards := sum.NumShards()
+	probes := 0
+	for i, raw := range raws {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var q query.Query
+		if err := dec.Decode(&q); err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		if probes += q.ProbeCount(shards); probes > maxBatchProbes {
+			httpError(w, http.StatusBadRequest,
+				"batch expands to more than %d per-shard probes; split it", maxBatchProbes)
+			return
+		}
+		batch = append(batch, q)
+		idx = append(idx, i)
+	}
+	for j, res := range sum.DoBatch(batch) {
+		if res.Err != nil {
+			out[idx[j]].Error = res.Err.Error()
+			continue
+		}
+		weight := res.Weight
+		out[idx[j]].Weight = &weight
+	}
+	writeJSON(w, out)
+}
+
+// decodeBatchEnvelope reads the /v2/query body as a JSON array of raw
+// items, streaming so both limits bind *while* reading: the byte cap via
+// http.MaxBytesReader and the item cap per element — a body of millions
+// of tiny items is rejected at item 65537, not materialized first.
+func decodeBatchEnvelope(w http.ResponseWriter, r *http.Request) ([]json.RawMessage, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("body must be a JSON array of queries: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("body must be a JSON array of queries, got %v", tok)
+	}
+	raws := []json.RawMessage{}
+	for dec.More() {
+		if len(raws) >= maxBatchQueries {
+			return nil, fmt.Errorf("batch exceeds the limit of %d queries", maxBatchQueries)
+		}
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("query %d: %w", len(raws), err)
+		}
+		raws = append(raws, raw)
+	}
+	if _, err := dec.Token(); err != nil { // consume the closing ']'
+		return nil, fmt.Errorf("body must be a JSON array of queries: %w", err)
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("unexpected data after the query array (%v)", tok)
+	}
+	return raws, nil
+}
+
+// handleHealthz is the load-balancer probe: 200 with the serving
+// configuration, computed without touching a shard lock or a query path,
+// so probes stay cheap and never queue behind traffic.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.st.Load()
+	writeJSON(w, map[string]any{
+		"status": "ok",
+		"shards": st.sum.NumShards(),
+		"ingest": st.pipe.Mode().String(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

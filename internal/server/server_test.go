@@ -537,3 +537,324 @@ func TestConcurrentIngestFlushQuery(t *testing.T) {
 		t.Fatalf("items = %v, want %d accepted", got, accepted.Load())
 	}
 }
+
+// v2Result mirrors the /v2/query per-item answer shape.
+type v2Result struct {
+	Weight *int64 `json:"weight"`
+	Error  string `json:"error"`
+}
+
+func postBatch(t *testing.T, base, body string) []v2Result {
+	t.Helper()
+	resp := post(t, base+"/v2/query", body)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("/v2/query status %d: %s", resp.StatusCode, b)
+	}
+	return decode[[]v2Result](t, resp)
+}
+
+// TestV2QueryBatch: one POST answers all five query kinds.
+func TestV2QueryBatch(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	got := postBatch(t, ts.URL, `[
+		{"kind":"edge","s":1,"d":2,"ts":0,"te":100},
+		{"kind":"edge","s":1,"d":2,"ts":0,"te":15},
+		{"kind":"vertex_out","v":1,"ts":0,"te":100},
+		{"kind":"vertex_in","v":2,"ts":0,"te":100},
+		{"kind":"path","path":[1,2,3],"ts":0,"te":100},
+		{"kind":"subgraph","edges":[[1,2],[2,3]],"ts":0,"te":100}
+	]`)
+	want := []int64{7, 3, 7, 7, 12, 12}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Error != "" {
+			t.Fatalf("item %d: unexpected error %q", i, got[i].Error)
+		}
+		if got[i].Weight == nil || *got[i].Weight != w {
+			t.Fatalf("item %d: weight = %v, want %d", i, got[i].Weight, w)
+		}
+	}
+}
+
+// TestV2QueryMatchesV1: both surfaces run the same planner, so answers
+// must agree exactly.
+func TestV2QueryMatchesV1(t *testing.T) {
+	_, ts := newTestServerShards(t, 8)
+	seed(t, ts.URL)
+	v1 := []string{
+		"/v1/edge?s=1&d=2&ts=0&te=100",
+		"/v1/vertex?v=1&dir=out&ts=0&te=100",
+		"/v1/vertex?v=2&dir=in&ts=0&te=100",
+		"/v1/path?v=1,2,3&ts=0&te=100",
+	}
+	var wantW []int64
+	for _, u := range v1 {
+		resp := get(t, ts.URL+u)
+		wantW = append(wantW, decode[map[string]int64](t, resp)["weight"])
+	}
+	got := postBatch(t, ts.URL, `[
+		{"kind":"edge","s":1,"d":2,"ts":0,"te":100},
+		{"kind":"vertex_out","v":1,"ts":0,"te":100},
+		{"kind":"vertex_in","v":2,"ts":0,"te":100},
+		{"kind":"path","path":[1,2,3],"ts":0,"te":100}
+	]`)
+	for i := range v1 {
+		if got[i].Weight == nil || *got[i].Weight != wantW[i] {
+			t.Fatalf("item %d: v2 weight = %v, v1 weight = %d", i, got[i].Weight, wantW[i])
+		}
+	}
+}
+
+// TestV2QueryPerItemErrors: item-level problems land in their own slot and
+// leave neighbors intact; the envelope still answers 200.
+func TestV2QueryPerItemErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	got := postBatch(t, ts.URL, `[
+		{"kind":"edge","s":1,"d":2,"ts":0,"te":100},
+		{"kind":"edge","s":1,"d":2,"ts":100,"te":50},
+		{"kind":"banana","ts":0,"te":1},
+		{"kind":"path","path":[1],"ts":0,"te":1},
+		{"not even":"a query"},
+		{"kind":"vertex_out","v":1,"ts":0,"te":100}
+	]`)
+	if len(got) != 6 {
+		t.Fatalf("got %d results, want 6", len(got))
+	}
+	if got[0].Error != "" || got[0].Weight == nil || *got[0].Weight != 7 {
+		t.Fatalf("valid item 0 polluted: %+v", got[0])
+	}
+	for i, wantErr := range map[int]string{
+		1: "inverted time range",
+		2: "unknown query kind",
+		3: "≥ 2 vertices",
+		4: "unknown field",
+	} {
+		if got[i].Weight != nil || !strings.Contains(got[i].Error, wantErr) {
+			t.Fatalf("item %d: %+v, want error containing %q", i, got[i], wantErr)
+		}
+	}
+	if got[5].Error != "" || got[5].Weight == nil || *got[5].Weight != 7 {
+		t.Fatalf("valid item 5 polluted: %+v", got[5])
+	}
+}
+
+// TestV2QueryEnvelope: malformed envelopes are the only 400s; an empty
+// batch is a valid envelope.
+func TestV2QueryEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, c := range []struct {
+		body       string
+		wantStatus int
+	}{
+		{`[]`, http.StatusOK},
+		{`{"kind":"edge"}`, http.StatusBadRequest}, // object, not array
+		{`garbage`, http.StatusBadRequest},
+		{``, http.StatusBadRequest},
+		{`[] trailing garbage`, http.StatusBadRequest},
+		{`[{"kind":"edge","s":1,"d":2,"ts":0,"te":1}][]`, http.StatusBadRequest},
+	} {
+		resp := post(t, ts.URL+"/v2/query", c.body)
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("body %q: status %d, want %d", c.body, resp.StatusCode, c.wantStatus)
+		}
+	}
+	resp := get(t, ts.URL+"/v2/query")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v2/query status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestInvertedRangeEveryEndpoint: te < ts is rejected on every query
+// surface — 400 on each v1 endpoint, a per-item error on /v2/query.
+func TestInvertedRangeEveryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	gets := []string{
+		"/v1/edge?s=1&d=2&ts=100&te=50",
+		"/v1/vertex?v=1&dir=out&ts=100&te=50",
+		"/v1/vertex?v=1&dir=in&ts=100&te=50",
+		"/v1/path?v=1,2&ts=100&te=50",
+	}
+	for _, u := range gets {
+		resp := get(t, ts.URL+u)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "inverted time range") {
+			t.Errorf("GET %s: status %d body %q, want 400 + inverted time range", u, resp.StatusCode, body)
+		}
+	}
+	resp := post(t, ts.URL+"/v1/subgraph", `{"edges":[[1,2]],"ts":100,"te":50}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "inverted time range") {
+		t.Errorf("POST /v1/subgraph: status %d body %q, want 400 + inverted time range", resp.StatusCode, body)
+	}
+	for _, item := range []string{
+		`{"kind":"edge","s":1,"d":2,"ts":100,"te":50}`,
+		`{"kind":"vertex_out","v":1,"ts":100,"te":50}`,
+		`{"kind":"vertex_in","v":1,"ts":100,"te":50}`,
+		`{"kind":"path","path":[1,2],"ts":100,"te":50}`,
+		`{"kind":"subgraph","edges":[[1,2]],"ts":100,"te":50}`,
+	} {
+		got := postBatch(t, ts.URL, "["+item+"]")
+		if len(got) != 1 || got[0].Weight != nil || !strings.Contains(got[0].Error, "inverted time range") {
+			t.Errorf("v2 item %s: %+v, want inverted time range error", item, got)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServerShards(t, 3)
+	resp := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	got := decode[map[string]any](t, resp)
+	if got["status"] != "ok" || got["shards"] != float64(3) || got["ingest"] != "auto" {
+		t.Fatalf("healthz = %v", got)
+	}
+	resp = post(t, ts.URL+"/healthz", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestV2QueryConcurrentWithIngest exercises batch queries racing the
+// group-commit pipeline over HTTP (run with -race).
+func TestV2QueryConcurrentWithIngest(t *testing.T) {
+	_, ts := newTestServerShards(t, 4)
+	const writers, rounds = 3, 20
+	var wg sync.WaitGroup
+	for p := 0; p < writers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for b := 0; b < rounds; b++ {
+				body := fmt.Sprintf(`[{"s":%d,"d":%d,"w":1,"t":%d}]`, p*100+b, b, b*10)
+				for {
+					resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					code := resp.StatusCode
+					resp.Body.Close()
+					if code == http.StatusOK || code == http.StatusAccepted {
+						break
+					}
+					if code != http.StatusTooManyRequests {
+						t.Errorf("ingest status %d", code)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	for r := 0; r < rounds; r++ {
+		got := postBatch(t, ts.URL, fmt.Sprintf(`[
+			{"kind":"vertex_in","v":%d,"ts":0,"te":1000},
+			{"kind":"edge","s":%d,"d":%d,"ts":0,"te":1000},
+			{"kind":"path","path":[%d,%d,%d],"ts":0,"te":1000}
+		]`, r, r+100, r, r, r+1, r+2))
+		for i, res := range got {
+			if res.Error != "" {
+				t.Errorf("round %d item %d: %s", r, i, res.Error)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// TestV2QueryMissingKind: an item without "kind" is a per-item error, not
+// a silently-answered edge query (the zero Kind is invalid by design).
+func TestV2QueryMissingKind(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	got := postBatch(t, ts.URL, `[{"v":2,"ts":0,"te":100},{"kind":"vertex_in","v":2,"ts":0,"te":100}]`)
+	if got[0].Weight != nil || !strings.Contains(got[0].Error, "missing query kind") {
+		t.Fatalf("missing-kind item: %+v, want missing query kind error", got[0])
+	}
+	if got[1].Error != "" || got[1].Weight == nil || *got[1].Weight != 7 {
+		t.Fatalf("valid neighbor polluted: %+v", got[1])
+	}
+}
+
+// TestV2QueryBodyTooLarge: the envelope byte size is bounded while
+// streaming. Items here are large (~1 KiB paths) so the byte cap trips
+// well before the item cap.
+func TestV2QueryBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t)
+	item := `{"kind":"path","path":[` + strings.Repeat("1,", 500) + `1],"ts":0,"te":1},`
+	huge := "[" + strings.Repeat(item, 9000)
+	huge = huge[:len(huge)-1] + "]"
+	if len(huge) <= 8<<20 {
+		t.Fatalf("test body not oversized: %d bytes", len(huge))
+	}
+	resp := post(t, ts.URL+"/v2/query", huge)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestV2QueryProbeBudget: a small body can plan a huge probe count via
+// vertex_in fan-out (one probe per shard per item); over-budget envelopes
+// are rejected whole.
+func TestV2QueryProbeBudget(t *testing.T) {
+	_, ts := newTestServerShards(t, 64)
+	items := make([]string, 32768) // 32768 × 64 shards = 2M probes > 1M budget
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"kind":"vertex_in","v":%d,"ts":0,"te":1}`, i)
+	}
+	resp := post(t, ts.URL+"/v2/query", "["+strings.Join(items, ",")+"]")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "probes") {
+		t.Fatalf("status %d body %q, want 400 + probe budget error", resp.StatusCode, body)
+	}
+	// The same items in a smaller batch stay well under budget.
+	got := postBatch(t, ts.URL, "["+strings.Join(items[:64], ",")+"]")
+	for i, r := range got {
+		if r.Error != "" || r.Weight == nil {
+			t.Fatalf("item %d of in-budget batch: %+v", i, r)
+		}
+	}
+}
+
+// TestV2QueryItemCapStreams: the item cap binds while streaming the
+// envelope, and invalid items count zero probes — a batch of inverted
+// windows can never trip the probe budget, only per-item errors.
+func TestV2QueryItemCapStreams(t *testing.T) {
+	_, ts := newTestServer(t)
+	huge := "[" + strings.Repeat("0,", 100_000) + "0]" // tiny items over the 65536 cap
+	resp := post(t, ts.URL+"/v2/query", huge)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "limit of 65536") {
+		t.Fatalf("status %d body %q, want 400 + item limit", resp.StatusCode, body)
+	}
+
+	_, ts64 := newTestServerShards(t, 64)
+	items := make([]string, 32768)
+	for i := range items {
+		items[i] = `{"kind":"vertex_in","v":1,"ts":9,"te":0}` // inverted: plans 0 probes
+	}
+	got := postBatch(t, ts64.URL, "["+strings.Join(items, ",")+"]")
+	if len(got) != len(items) {
+		t.Fatalf("got %d results, want %d", len(got), len(items))
+	}
+	for i, r := range got {
+		if r.Weight != nil || !strings.Contains(r.Error, "inverted time range") {
+			t.Fatalf("item %d: %+v, want per-item inverted range error", i, r)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package shard
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"higgs/internal/query"
+	"higgs/internal/stream"
+)
+
+// batchWorkload builds a mixed-kind query workload covering every vertex
+// of a small universe over several windows.
+func batchWorkload(span int64) []query.Query {
+	var qs []query.Query
+	for v := uint64(0); v < 60; v++ {
+		for _, win := range [][2]int64{{0, span}, {span / 4, span / 2}} {
+			qs = append(qs,
+				query.NewEdge(v, v+1, win[0], win[1]),
+				query.NewVertexOut(v, win[0], win[1]),
+				query.NewVertexIn(v, win[0], win[1]),
+				query.NewPath([]uint64{v, v + 1, v + 2, v + 3}, win[0], win[1]),
+				query.NewSubgraph([][2]uint64{{v, v + 1}, {v + 5, v + 2}, {v, v + 9}}, win[0], win[1]),
+			)
+		}
+	}
+	return qs
+}
+
+// TestDoMatchesPerKindMethods: the unified path and the per-kind methods
+// are the same code answering the same plan, so their results must be
+// identical — per query (Do) and batched (DoBatch).
+func TestDoMatchesPerKindMethods(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		st := testStream(t, 120, 12_000)
+		s := newSharded(t, shards)
+		for _, e := range st {
+			s.Insert(e)
+		}
+		s.Finalize()
+		span := st[len(st)-1].T
+
+		qs := batchWorkload(span)
+		batch := s.DoBatch(qs)
+		if len(batch) != len(qs) {
+			t.Fatalf("shards=%d: DoBatch returned %d results for %d queries", shards, len(batch), len(qs))
+		}
+		for i, q := range qs {
+			var want int64
+			switch q.Kind {
+			case query.KindEdge:
+				want = s.EdgeWeight(q.S, q.D, q.Ts, q.Te)
+			case query.KindVertexOut:
+				want = s.VertexOut(q.V, q.Ts, q.Te)
+			case query.KindVertexIn:
+				want = s.VertexIn(q.V, q.Ts, q.Te)
+			case query.KindPath:
+				want = s.PathWeight(q.Path, q.Ts, q.Te)
+			case query.KindSubgraph:
+				want = s.SubgraphWeight(q.Edges, q.Ts, q.Te)
+			}
+			if batch[i].Err != nil {
+				t.Fatalf("shards=%d query %d: %v", shards, i, batch[i].Err)
+			}
+			if batch[i].Weight != want {
+				t.Fatalf("shards=%d query %d (%v): batch = %d, per-kind = %d",
+					shards, i, q.Kind, batch[i].Weight, want)
+			}
+			if single := s.Do(q); single.Weight != want || single.Err != nil {
+				t.Fatalf("shards=%d query %d (%v): Do = %+v, per-kind = %d",
+					shards, i, q.Kind, single, want)
+			}
+		}
+	}
+}
+
+// TestDoValidation: the unified path surfaces per-query errors while the
+// per-kind wrappers preserve their historical answer-zero behavior.
+func TestDoValidation(t *testing.T) {
+	s := newSharded(t, 2)
+	s.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 10})
+
+	if r := s.Do(query.NewEdge(1, 2, 50, 10)); r.Err == nil ||
+		!strings.Contains(r.Err.Error(), "inverted time range") {
+		t.Fatalf("inverted range: %+v", r)
+	}
+	if r := s.Do(query.NewPath([]uint64{1}, 0, 100)); r.Err == nil {
+		t.Fatalf("short path accepted: %+v", r)
+	}
+	if got := s.EdgeWeight(1, 2, 50, 10); got != 0 {
+		t.Fatalf("EdgeWeight on inverted range = %d, want 0", got)
+	}
+	if got := s.PathWeight([]uint64{1}, 0, 100); got != 0 {
+		t.Fatalf("PathWeight on short path = %d, want 0", got)
+	}
+}
+
+// TestDoBatchConcurrentWithIngest drives DoBatch against live concurrent
+// ingest (run with -race): batch reads must interleave safely with
+// per-shard write locking.
+func TestDoBatchConcurrentWithIngest(t *testing.T) {
+	st := testStream(t, 100, 20_000)
+	s := newSharded(t, 4)
+	half := len(st) / 2
+	for _, e := range st[:half] {
+		s.Insert(e)
+	}
+	span := st[len(st)-1].T
+	qs := batchWorkload(span)[:120]
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.InsertBatch(st[half:])
+	}()
+	for i := 0; i < 20; i++ {
+		for j, r := range s.DoBatch(qs) {
+			if r.Err != nil {
+				t.Errorf("batch %d query %d: %v", i, j, r.Err)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// TestExpire: expiring a cutoff drops old leaves on every shard while
+// queries inside the surviving window keep their exact answers.
+func TestExpire(t *testing.T) {
+	st := testStream(t, 150, 30_000)
+	s := newSharded(t, 4)
+	for _, e := range st {
+		s.Insert(e)
+	}
+	span := st[len(st)-1].T
+	cutoff := span / 2
+
+	// Reference answers inside the surviving window, taken before expiry.
+	type key struct {
+		v      uint64
+		ts, te int64
+	}
+	want := make(map[key]int64)
+	for v := uint64(0); v < 50; v++ {
+		for _, win := range [][2]int64{{cutoff, span}, {cutoff + span/8, span}} {
+			want[key{v, win[0], win[1]}] = s.VertexOut(v, win[0], win[1])
+		}
+	}
+
+	before := s.Stats().Total.Leaves
+	dropped := s.Expire(cutoff)
+	if dropped <= 0 {
+		t.Fatalf("Expire(%d) dropped %d leaves, want > 0", cutoff, dropped)
+	}
+	if after := s.Stats().Total.Leaves; after != before-dropped {
+		t.Fatalf("leaves after expire = %d, want %d - %d", after, before, dropped)
+	}
+	for k, w := range want {
+		if got := s.VertexOut(k.v, k.ts, k.te); got != w {
+			t.Fatalf("VertexOut(%d, [%d,%d]) = %d after expire, want %d", k.v, k.ts, k.te, got, w)
+		}
+	}
+	// Idempotent at the same cutoff: nothing left to drop.
+	if again := s.Expire(cutoff); again != 0 {
+		t.Fatalf("second Expire(%d) dropped %d leaves, want 0", cutoff, again)
+	}
+}
+
+// TestExpireConcurrentWithQueries: expiry holds per-shard write locks, so
+// it may run against live readers and writers (run with -race).
+func TestExpireConcurrentWithQueries(t *testing.T) {
+	st := testStream(t, 100, 20_000)
+	s := newSharded(t, 4)
+	for _, e := range st {
+		s.Insert(e)
+	}
+	span := st[len(st)-1].T
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.VertexIn(uint64(i%100), 0, span)
+			s.EdgeWeight(uint64(i%100), uint64(i%100+1), span/2, span)
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		s.Expire(span * int64(i) / 16)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -22,9 +22,11 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"higgs/internal/core"
 	"higgs/internal/hashing"
+	"higgs/internal/query"
 	"higgs/internal/stream"
 )
 
@@ -187,117 +189,107 @@ func (s *Summary) Delete(e stream.Edge) bool {
 	return ok
 }
 
-// EdgeWeight estimates the aggregated weight of edge (sv → dv) in [ts, te].
-// The edge lives only in sv's shard, so this is a single-shard lookup.
-func (s *Summary) EdgeWeight(sv, dv uint64, ts, te int64) int64 {
-	sl := s.slots[s.ShardFor(sv)]
+// ProbeShard evaluates every probe against shard i under a single
+// read-lock acquisition — the primitive the batch query executor
+// (internal/query, DESIGN.md §11) builds on. Callers other than package
+// query should prefer Do / DoBatch, which plan probes with ShardFor;
+// probing a shard that does not own a probe's source vertex returns that
+// shard's (typically zero) partial estimate, not the query's answer.
+func (s *Summary) ProbeShard(i int, probes []query.Probe, out []int64) {
+	sl := s.slots[i]
 	sl.mu.RLock()
 	defer sl.mu.RUnlock()
-	return sl.sum.EdgeWeight(sv, dv, ts, te)
+	for j, p := range probes {
+		switch p.Op {
+		case query.OpEdge:
+			out[j] = sl.sum.EdgeWeight(p.S, p.D, p.Ts, p.Te)
+		case query.OpVertexOut:
+			out[j] = sl.sum.VertexOut(p.S, p.Ts, p.Te)
+		case query.OpVertexIn:
+			out[j] = sl.sum.VertexIn(p.S, p.Ts, p.Te)
+		}
+	}
+}
+
+// Do answers one temporal query; the Result carries the estimated weight
+// or the query's validation error. Single-shard kinds (edge, vertex-out)
+// lock only the shard that owns them; fan-out kinds (vertex-in, path,
+// subgraph) visit each involved shard once, concurrently.
+func (s *Summary) Do(q query.Query) query.Result { return query.Do(s, q) }
+
+// DoBatch answers a batch of temporal queries with at most one read-lock
+// acquisition per shard per batch: all constituent per-shard probes are
+// grouped by shard and each shard's group is evaluated under a single
+// RLock, concurrently across shards. Results align with the input, and
+// every merged weight is the same sum of per-shard one-sided estimates
+// the per-kind methods produce — batching changes locking, not answers.
+func (s *Summary) DoBatch(qs []query.Query) []query.Result { return query.DoBatch(s, qs) }
+
+// weightOf adapts Do to the per-kind method signatures, which predate
+// Result: shapes that cannot be answered (inverted windows, paths shorter
+// than one edge) answer zero, as they always have.
+func (s *Summary) weightOf(q query.Query) int64 {
+	r := query.Do(s, q)
+	if r.Err != nil {
+		return 0
+	}
+	return r.Weight
+}
+
+// EdgeWeight estimates the aggregated weight of edge (sv → dv) in [ts, te].
+// The edge lives only in sv's shard, so this is a single-shard lookup. It
+// is a thin wrapper over Do.
+func (s *Summary) EdgeWeight(sv, dv uint64, ts, te int64) int64 {
+	return s.weightOf(query.NewEdge(sv, dv, ts, te))
 }
 
 // VertexOut estimates the aggregated weight of v's outgoing edges in
 // [ts, te]. All outgoing edges of v share v's shard: single-shard lookup.
+// It is a thin wrapper over Do.
 func (s *Summary) VertexOut(v uint64, ts, te int64) int64 {
-	sl := s.slots[s.ShardFor(v)]
-	sl.mu.RLock()
-	defer sl.mu.RUnlock()
-	return sl.sum.VertexOut(v, ts, te)
+	return s.weightOf(query.NewVertexOut(v, ts, te))
 }
 
 // VertexIn estimates the aggregated weight of v's incoming edges in
 // [ts, te]. Incoming edges are partitioned by their sources, so the query
 // fans out to every shard concurrently and sums — each term is a one-sided
 // estimate of that shard's true contribution, so the sum never undercounts.
+// It is a thin wrapper over Do.
 func (s *Summary) VertexIn(v uint64, ts, te int64) int64 {
-	return s.fanOutSum(func(cs *core.Summary) int64 { return cs.VertexIn(v, ts, te) })
-}
-
-// fanOutSum evaluates q on every shard concurrently under read locks and
-// returns the sum of the per-shard results.
-func (s *Summary) fanOutSum(q func(*core.Summary) int64) int64 {
-	if len(s.slots) == 1 {
-		sl := s.slots[0]
-		sl.mu.RLock()
-		defer sl.mu.RUnlock()
-		return q(sl.sum)
-	}
-	res := make([]int64, len(s.slots))
-	var wg sync.WaitGroup
-	wg.Add(len(s.slots))
-	for i, sl := range s.slots {
-		go func(i int, sl *slot) {
-			defer wg.Done()
-			sl.mu.RLock()
-			defer sl.mu.RUnlock()
-			res[i] = q(sl.sum)
-		}(i, sl)
-	}
-	wg.Wait()
-	var sum int64
-	for _, r := range res {
-		sum += r
-	}
-	return sum
+	return s.weightOf(query.NewVertexIn(v, ts, te))
 }
 
 // PathWeight estimates the sum of edge weights along the vertex path in
 // [ts, te], decomposed into per-shard edge groups evaluated concurrently.
+// It is a thin wrapper over Do.
 func (s *Summary) PathWeight(path []uint64, ts, te int64) int64 {
-	if len(path) < 2 {
-		return 0
-	}
-	edges := make([][2]uint64, len(path)-1)
-	for i := 0; i+1 < len(path); i++ {
-		edges[i] = [2]uint64{path[i], path[i+1]}
-	}
-	return s.SubgraphWeight(edges, ts, te)
+	return s.weightOf(query.NewPath(path, ts, te))
 }
 
 // SubgraphWeight estimates the total weight of the given edge set in
 // [ts, te]. Edges are grouped by the shard of their source vertex; groups
-// are evaluated concurrently, each under a single read lock.
+// are evaluated concurrently, each under a single read lock. It is a thin
+// wrapper over Do.
 func (s *Summary) SubgraphWeight(edges [][2]uint64, ts, te int64) int64 {
-	if len(edges) == 0 {
-		return 0
-	}
-	groups := make(map[int][][2]uint64)
-	for _, e := range edges {
-		i := s.ShardFor(e[0])
-		groups[i] = append(groups[i], e)
-	}
-	queryGroup := func(i int, g [][2]uint64) int64 {
-		sl := s.slots[i]
-		sl.mu.RLock()
-		defer sl.mu.RUnlock()
-		var sum int64
-		for _, e := range g {
-			sum += sl.sum.EdgeWeight(e[0], e[1], ts, te)
-		}
-		return sum
-	}
-	if len(groups) == 1 {
-		for i, g := range groups {
-			return queryGroup(i, g)
-		}
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		total int64
-	)
-	wg.Add(len(groups))
-	for i, g := range groups {
-		go func(i int, g [][2]uint64) {
-			defer wg.Done()
-			w := queryGroup(i, g)
-			mu.Lock()
-			total += w
-			mu.Unlock()
-		}(i, g)
-	}
-	wg.Wait()
-	return total
+	return s.weightOf(query.NewSubgraph(edges, ts, te))
+}
+
+// Expire drops every subtree whose entire time range lies before the
+// cutoff, shard by shard, each under its shard's write lock, and returns
+// the total number of leaves reclaimed; see core.Summary.Expire for the
+// window semantics. Shards expire concurrently with each other, and —
+// unlike core.Expire, which must not race anything — queries and inserts
+// simply serialize behind each shard's lock, so a live sharded deployment
+// can expire periodically without pausing service.
+func (s *Summary) Expire(cutoff int64) int {
+	var dropped atomic.Int64
+	s.eachShard(func(sl *slot) {
+		sl.mu.Lock()
+		n := sl.sum.Expire(cutoff)
+		sl.mu.Unlock()
+		dropped.Add(int64(n))
+	})
+	return int(dropped.Load())
 }
 
 // Finalize marks the end of the stream on every shard concurrently; see
