@@ -8,21 +8,57 @@
 //	higgsbench -list
 //	higgsbench -exp fig10
 //	higgsbench -exp all -scale 1.0 -equeries 10000
+//	higgsbench -exp walrecovery -json artifacts/BENCH_walrecovery.json
 //
 // Query volumes and dataset scale default to laptop-friendly values; raise
 // -scale and the query counts to approach the paper's original volumes.
+//
+// -json writes a machine-readable run artifact (experiment id, options,
+// elapsed time, pass/fail, and the captured table output) to the given
+// path, creating parent directories — what CI uploads per run so the
+// performance trajectory stays inspectable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"higgs/internal/bench"
 	"higgs/internal/stream"
 )
+
+// artifact is the -json output: one self-describing record per run.
+type artifact struct {
+	Experiment string    `json:"experiment"`
+	Presets    []string  `json:"presets"`
+	Scale      float64   `json:"scale"`
+	Seed       int64     `json:"seed"`
+	Start      time.Time `json:"start"`
+	ElapsedMS  int64     `json:"elapsed_ms"`
+	OK         bool      `json:"ok"`
+	Error      string    `json:"error,omitempty"`
+	Output     string    `json:"output"`
+}
+
+// writeArtifact persists the run record, creating parent directories.
+func writeArtifact(path string, a artifact) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 func main() {
 	var (
@@ -37,6 +73,7 @@ func main() {
 		skewE    = flag.Int("skewedges", 300000, "synthetic sweep: edge volume (fig14/15)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		presets  = flag.String("presets", "", "comma-separated dataset presets (default: all of lkml,wiki-talk,stackoverflow)")
+		jsonOut  = flag.String("json", "", "write a machine-readable run artifact (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -69,9 +106,36 @@ func main() {
 		}
 	}
 
+	var captured strings.Builder
+	if *jsonOut != "" {
+		opts.Out = io.MultiWriter(os.Stdout, &captured)
+	}
+
 	start := time.Now()
-	if err := bench.Run(*exp, opts); err != nil {
-		fmt.Fprintf(os.Stderr, "higgsbench: %v\n", err)
+	runErr := bench.Run(*exp, opts)
+	if *jsonOut != "" {
+		a := artifact{
+			Experiment: *exp,
+			Scale:      *scale,
+			Seed:       *seed,
+			Start:      start.UTC(),
+			ElapsedMS:  time.Since(start).Milliseconds(),
+			OK:         runErr == nil,
+			Output:     captured.String(),
+		}
+		for _, p := range opts.Presets {
+			a.Presets = append(a.Presets, string(p))
+		}
+		if runErr != nil {
+			a.Error = runErr.Error()
+		}
+		if err := writeArtifact(*jsonOut, a); err != nil {
+			fmt.Fprintf(os.Stderr, "higgsbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "higgsbench: %v\n", runErr)
 		os.Exit(1)
 	}
 	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))

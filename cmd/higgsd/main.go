@@ -31,20 +31,35 @@
 // Snapshots are written in the sharded framing; -load also accepts legacy
 // unsharded snapshots, which come up as a single shard.
 //
+// Durability (DESIGN.md §12): with -wal-dir, /v1/ingest appends every
+// accepted batch to a segmented write-ahead log in that directory and
+// fsyncs before responding 202, so accepted edges survive a crash — not
+// just an orderly shutdown. -snapshot-interval adds periodic background
+// snapshots (written atomically to <wal-dir>/snapshot.higgs) after which
+// the log's covered segments are truncated. On startup higgsd recovers by
+// loading the latest snapshot and replaying the log tail. The WAL owns the
+// durable state: -load is rejected alongside -wal-dir, and POST
+// /v1/snapshot answers 409.
+//
+//	higgsd -wal-dir /var/lib/higgs -snapshot-interval 30s
+//
 // On SIGINT/SIGTERM the server stops accepting connections, drains the
-// ingest pipeline (every 202-accepted batch is applied), and, if -save is
-// set, writes a snapshot before exiting — so accepted edges survive an
-// orderly shutdown.
+// ingest pipeline (every 202-accepted batch is applied), writes a final
+// snapshot into -wal-dir (truncating the log), and, if -save is set,
+// writes a snapshot there too — so accepted edges survive an orderly
+// shutdown even without a WAL.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -52,17 +67,24 @@ import (
 	"higgs/internal/ingest"
 	"higgs/internal/server"
 	"higgs/internal/shard"
+	"higgs/internal/wal"
 )
+
+// snapshotName is the snapshot file maintained inside -wal-dir.
+const snapshotName = "snapshot.higgs"
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		shards = flag.Int("shards", 0, "summary shard count (0 = one per CPU)")
-		load   = flag.String("load", "", "snapshot file to restore at startup")
-		save   = flag.String("save", "", "snapshot file to write on shutdown")
-		mode   = flag.String("ingest-mode", "auto", `/v1/ingest admission: "sync", "async", or "auto"`)
-		depth  = flag.Int("queue-depth", 4096, "per-shard async ingest queue capacity (edges)")
-		commit = flag.Duration("commit-interval", 0, "group-commit accumulation window (0 = apply as soon as possible)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		shards  = flag.Int("shards", 0, "summary shard count (0 = one per CPU)")
+		load    = flag.String("load", "", "snapshot file to restore at startup")
+		save    = flag.String("save", "", "snapshot file to write on shutdown")
+		mode    = flag.String("ingest-mode", "auto", `/v1/ingest admission: "sync", "async", or "auto"`)
+		depth   = flag.Int("queue-depth", 4096, "per-shard async ingest queue capacity (edges)")
+		commit  = flag.Duration("commit-interval", 0, "group-commit accumulation window (0 = apply as soon as possible)")
+		walDir  = flag.String("wal-dir", "", "durable state directory: write-ahead log segments + snapshot.higgs (empty = no crash durability)")
+		walSync = flag.Duration("wal-sync-interval", 0, "WAL group-fsync accumulation window — bounds how long a 202 waits for its fsync (0 = sync as soon as dirty)")
+		snapIvl = flag.Duration("snapshot-interval", 0, "background snapshot cadence; requires -wal-dir (0 = snapshot only on shutdown)")
 	)
 	flag.Parse()
 
@@ -75,24 +97,81 @@ func main() {
 		// expects no buffering, which the pipeline does not offer.
 		log.Fatalf("higgsd: -queue-depth %d, need ≥ 1", *depth)
 	}
+	switch {
+	case *snapIvl < 0:
+		log.Fatalf("higgsd: -snapshot-interval %v, need ≥ 0", *snapIvl)
+	case *walSync < 0:
+		log.Fatalf("higgsd: -wal-sync-interval %v, need ≥ 0", *walSync)
+	case *snapIvl > 0 && *walDir == "":
+		log.Fatal("higgsd: -snapshot-interval requires -wal-dir")
+	case *walDir != "" && *load != "":
+		log.Fatal("higgsd: -load conflicts with -wal-dir (the WAL directory owns its snapshot; remove -load)")
+	}
 	icfg := ingest.DefaultConfig()
 	icfg.Mode = imode
 	icfg.QueueDepth = *depth
 	icfg.CommitInterval = *commit
 
-	sum, err := buildSummary(*load, *shards)
-	if err != nil {
+	var (
+		sum   *shard.Summary
+		wlog  *wal.Log
+		snapP string
+	)
+	if *walDir != "" {
+		// Recovery: latest snapshot + WAL tail replay (DESIGN.md §12).
+		snapP = filepath.Join(*walDir, snapshotName)
+		sum, err = loadOrNewSummary(snapP, *shards)
+		if err != nil {
+			log.Fatalf("higgsd: %v", err)
+		}
+		// The WAL group-syncs on its own cadence (-wal-sync-interval): one
+		// fsync covers everything accepted during the accumulation window,
+		// mirroring the role -commit-interval plays for shard locks. The
+		// two are separate knobs because every 202 waits for its covering
+		// fsync — a long commit window must not hold admission hostage.
+		wlog, err = wal.Open(wal.Config{Dir: *walDir, SyncInterval: *walSync})
+		if err != nil {
+			log.Fatalf("higgsd: %v", err)
+		}
+		replayed, err := ingest.Recover(sum, wlog)
+		if err != nil {
+			log.Fatalf("higgsd: %v", err)
+		}
+		log.Printf("higgsd: recovered from %s (items=%d, wal replayed %d edges)",
+			*walDir, sum.Items(), replayed)
+		icfg.WAL = wlog
+	} else if sum, err = buildSummary(*load, *shards); err != nil {
 		log.Fatalf("higgsd: %v", err)
 	}
+
 	srv, err := server.NewWithIngest(sum, icfg)
 	if err != nil {
 		log.Fatalf("higgsd: %v", err)
 	}
+	var snapper *ingest.Snapshotter
+	if wlog != nil {
+		snapper = ingest.NewSnapshotter(sum, srv.Pipeline(), wlog, snapP, *snapIvl,
+			func(err error) { log.Printf("higgsd: background snapshot: %v", err) })
+		snapper.Start()
+		srv.SetDurability(func() server.DurabilityStatus {
+			st := server.DurabilityStatus{
+				WAL:         true,
+				AppendedSeq: wlog.LastSeq(),
+				SyncedSeq:   wlog.SyncedSeq(),
+				Segments:    wlog.Segments(),
+				SnapshotSeq: snapper.LastSeq(),
+			}
+			if at := snapper.LastTime(); !at.IsZero() {
+				st.SnapshotUnix = at.Unix()
+			}
+			return st
+		})
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	go func() {
-		log.Printf("higgsd: listening on %s (shards=%d items=%d ingest=%s)",
-			*addr, sum.NumShards(), sum.Items(), imode)
+		log.Printf("higgsd: listening on %s (shards=%d items=%d ingest=%s wal=%v)",
+			*addr, sum.NumShards(), sum.Items(), imode, *walDir != "")
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("higgsd: %v", err)
 		}
@@ -109,13 +188,39 @@ func main() {
 	}
 	// Drain accepted-but-uncommitted ingest batches before snapshotting:
 	// a 202 means the edge survives an orderly shutdown.
+	if snapper != nil {
+		snapper.Close() // stop the background loop before the final snapshot
+	}
 	srv.Close()
+	if snapper != nil {
+		// Final covering snapshot: the next boot loads it and replays an
+		// empty (truncated) tail.
+		if err := snapper.Snap(); err != nil {
+			log.Printf("higgsd: final snapshot: %v", err)
+		} else {
+			log.Printf("higgsd: snapshot saved to %s", snapP)
+		}
+	}
 	if *save != "" {
 		if err := writeSnapshot(srv.Summary(), *save); err != nil {
 			log.Fatalf("higgsd: save: %v", err)
 		}
 		log.Printf("higgsd: snapshot saved to %s", *save)
 	}
+	if wlog != nil {
+		if err := wlog.Close(); err != nil {
+			log.Printf("higgsd: wal close: %v", err)
+		}
+	}
+}
+
+// loadOrNewSummary restores the summary at path, or builds a fresh one
+// when no snapshot exists yet — the first boot of a WAL directory.
+func loadOrNewSummary(path string, shards int) (*shard.Summary, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		return buildSummary("", shards)
+	}
+	return buildSummary(path, shards)
 }
 
 func buildSummary(load string, shards int) (*shard.Summary, error) {

@@ -10,8 +10,11 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
+
+	"higgs"
 )
 
 // buildTools compiles the repository's command binaries once per test run.
@@ -267,5 +270,170 @@ func TestE2EAsyncDaemon(t *testing.T) {
 	}
 	if got := getWeight(t, "http://"+addr2+"/v1/edge?s=1&d=2&ts=0&te=100"); got != 7 {
 		t.Fatalf("restored edge weight = %d, want 7", got)
+	}
+}
+
+// TestE2ESigtermDrainSnapshotExact covers the SIGTERM shutdown contract:
+// a draining Close() plus -save must leave a snapshot that LoadSharded
+// restores exactly. The daemon 202-accepts edges in async mode with a
+// commit interval so large only the shutdown drain can apply them, gets
+// SIGTERM, and the snapshot it writes must be byte-for-byte what an
+// in-process summary fed the same batch produces — and must restore to
+// the same answers.
+func TestE2ESigtermDrainSnapshotExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bins := buildTools(t, "higgsd")
+	snap := filepath.Join(t.TempDir(), "state.higgs")
+	addr := freeAddr(t)
+
+	run := exec.Command(bins["higgsd"], "-addr", addr, "-save", snap,
+		"-shards", "2", "-ingest-mode", "async", "-commit-interval", "1h")
+	var logs bytes.Buffer
+	run.Stderr = &logs
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer run.Process.Kill()
+	waitHTTP(t, addr)
+
+	body := `[{"s":1,"d":2,"w":3,"t":10},{"s":2,"d":3,"w":5,"t":20},{"s":1,"d":2,"w":4,"t":30}]`
+	resp, err := http.Post("http://"+addr+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %d, want 202", resp.StatusCode)
+	}
+	if err := run.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatalf("higgsd exit: %v\n%s", err, logs.String())
+	}
+
+	// In-process reference: same configuration, same edges, same order.
+	cfg := higgs.DefaultShardedConfig()
+	cfg.Shards = 2
+	ref, err := higgs.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	ref.InsertBatch([]higgs.Edge{
+		{S: 1, D: 2, W: 3, T: 10}, {S: 2, D: 3, W: 5, T: 20}, {S: 1, D: 2, W: 4, T: 30},
+	})
+	var want bytes.Buffer
+	if _, err := ref.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v\n%s", err, logs.String())
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("drained -save snapshot (%d bytes) differs from in-process reference (%d bytes)",
+			len(got), want.Len())
+	}
+	loaded, err := higgs.LoadSharded(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if w := loaded.EdgeWeight(1, 2, 0, 100); w != 7 {
+		t.Fatalf("restored edge 1→2 weight = %d, want 7", w)
+	}
+	if w := loaded.EdgeWeight(2, 3, 0, 100); w != 5 {
+		t.Fatalf("restored edge 2→3 weight = %d, want 5", w)
+	}
+}
+
+// TestE2ECrashRecoveryWALDir kills higgsd with SIGKILL — no drain, no
+// snapshot — and restarts it on the same -wal-dir: every 202-accepted
+// edge must come back via snapshot + WAL replay (DESIGN.md §12).
+func TestE2ECrashRecoveryWALDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bins := buildTools(t, "higgsd")
+	walDir := filepath.Join(t.TempDir(), "wal")
+	addr := freeAddr(t)
+
+	run := exec.Command(bins["higgsd"], "-addr", addr, "-shards", "2",
+		"-ingest-mode", "async", "-commit-interval", "1h", "-wal-dir", walDir)
+	var logs bytes.Buffer
+	run.Stderr = &logs
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer run.Process.Kill()
+	waitHTTP(t, addr)
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/ingest", "application/json",
+		strings.NewReader(`[{"s":1,"d":2,"w":3,"t":10},{"s":2,"d":3,"w":5,"t":20}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %d, want 202", resp.StatusCode)
+	}
+	// healthz advertises the WAL with the accepted edges already synced
+	// (202 is only sent after the group fsync).
+	hz := struct {
+		Durability struct {
+			WAL       bool   `json:"wal"`
+			Appended  uint64 `json:"appended_seq"`
+			SyncedSeq uint64 `json:"synced_seq"`
+		} `json:"durability"`
+	}{}
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if !hz.Durability.WAL || hz.Durability.Appended != 2 || hz.Durability.SyncedSeq != 2 {
+		t.Fatalf("healthz durability = %+v, want wal=true appended=2 synced=2", hz.Durability)
+	}
+	// A snapshot upload must be refused: the WAL owns the durable state.
+	resp, err = http.Post(base+"/v1/snapshot", "application/octet-stream", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot upload with -wal-dir: status %d, want 409", resp.StatusCode)
+	}
+
+	// Hard crash: SIGKILL. The commit interval is an hour, so the edges
+	// sit in queues — only the WAL has them.
+	if err := run.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	run.Wait()
+
+	addr2 := freeAddr(t)
+	run2 := exec.Command(bins["higgsd"], "-addr", addr2, "-shards", "2", "-wal-dir", walDir)
+	var logs2 bytes.Buffer
+	run2.Stderr = &logs2
+	if err := run2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		run2.Process.Signal(os.Interrupt)
+		run2.Wait()
+	}()
+	waitHTTP(t, addr2)
+	if got := getWeight(t, "http://"+addr2+"/v1/edge?s=1&d=2&ts=0&te=100"); got != 3 {
+		t.Fatalf("crashed 202 edge lost: weight = %d, want 3\n%s", got, logs2.String())
+	}
+	if got := getWeight(t, "http://"+addr2+"/v1/edge?s=2&d=3&ts=0&te=100"); got != 5 {
+		t.Fatalf("crashed 202 edge lost: weight = %d, want 5\n%s", got, logs2.String())
 	}
 }

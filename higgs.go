@@ -24,12 +24,14 @@ package higgs
 
 import (
 	"io"
+	"time"
 
 	"higgs/internal/core"
 	"higgs/internal/ingest"
 	"higgs/internal/query"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
+	"higgs/internal/wal"
 )
 
 // Edge is one graph stream item: a directed edge S→D carrying weight W,
@@ -153,6 +155,45 @@ func DefaultIngestConfig() IngestConfig { return ingest.DefaultConfig() }
 // pipeline does not own the summary: close the pipeline first (draining
 // accepted edges), then the summary.
 func NewIngest(s *Sharded, cfg IngestConfig) (*Ingest, error) { return ingest.New(s, cfg) }
+
+// WAL is a segmented, fsync-batched write-ahead log of stream edges: the
+// durability substrate in front of an Ingest pipeline (IngestConfig.WAL),
+// making accepted edges survive a crash, not just an orderly shutdown. See
+// package wal for full method documentation and DESIGN.md §12 for the
+// format, sync policy, truncation rule, and recovery sequence.
+type WAL = wal.Log
+
+// WALConfig parameterizes a write-ahead log: the directory, the segment
+// rotation threshold, and the group-sync cadence.
+type WALConfig = wal.Config
+
+// OpenWAL opens (creating if necessary) the log in cfg.Dir, repairing a
+// torn tail from a previous crash. Recover the summary (Recover) before
+// handing the log to an ingest pipeline.
+func OpenWAL(cfg WALConfig) (*WAL, error) { return wal.Open(cfg) }
+
+// Recover replays a write-ahead log into a sharded summary — freshly
+// built, or loaded from the latest snapshot, whose per-shard watermarks
+// tell Recover exactly which edges to skip. It returns the number of
+// edges applied and must run before the log backs a live pipeline.
+func Recover(s *Sharded, w *WAL) (int64, error) { return ingest.Recover(s, w) }
+
+// Snapshotter takes periodic background snapshots of a WAL-backed
+// pipeline's summary and truncates the log's covered prefix. See
+// ingest.Snapshotter.
+type Snapshotter = ingest.Snapshotter
+
+// NewSnapshotter returns a snapshotter writing the summary atomically to
+// path every interval once Start is called (interval ≤ 0 disables the
+// loop; Snap still works on demand). onError observes background failures.
+func NewSnapshotter(s *Sharded, p *Ingest, w *WAL, path string, interval time.Duration, onError func(error)) *Snapshotter {
+	return ingest.NewSnapshotter(s, p, w, path, interval, onError)
+}
+
+// WriteSnapshot writes the summary's snapshot to path atomically (temp
+// file + fsync + rename), so a crash mid-write leaves the previous
+// snapshot intact.
+func WriteSnapshot(s *Sharded, path string) error { return ingest.WriteSnapshot(s, path) }
 
 // Query describes one temporal range query of any kind — edge, vertex
 // (out / in), path, or subgraph — over a closed [Ts, Te] window; build

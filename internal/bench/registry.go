@@ -30,6 +30,7 @@ var registry = []Experiment{
 	{"sharded", "Extra: sharded ingest scaling (internal/shard)", ShardedIngest},
 	{"asyncingest", "Extra: async group-commit ingest vs sync (internal/ingest)", AsyncIngest},
 	{"batchquery", "Extra: batched vs per-call queries (internal/query)", BatchQuery},
+	{"walrecovery", "Extra: crash recovery — snapshot + WAL replay (internal/wal)", WALRecovery},
 }
 
 // Experiments lists all registered experiments in presentation order.

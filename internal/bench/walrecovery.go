@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"higgs/internal/ingest"
+	"higgs/internal/metrics"
+	"higgs/internal/shard"
+	"higgs/internal/stream"
+	"higgs/internal/wal"
+)
+
+// walBatch is the submission batch size for the recovery runs. One WAL
+// record (and one group-fsync wait) per batch keeps the experiment's fsync
+// count CI-friendly while still exercising many records per segment.
+const walBatch = 512
+
+// WALRecovery is the crash-recovery gate (internal/wal + ingest.Recover,
+// DESIGN.md §12), run in CI: at 1/2/4/8 shards it ingests the dataset
+// through a WAL-backed async pipeline, simulates a crash mid-stream — the
+// summary and queues are abandoned without an orderly close; only what the
+// log and snapshot hold on disk survives — and then recovers. The run
+// hard-fails (an error, not a warning) unless the recovered summary's
+// snapshot is byte-for-byte identical to a clean synchronous run of the
+// same stream, both for pure WAL replay onto an empty summary and for a
+// mid-stream background snapshot plus WAL-tail replay (which must also
+// truncate the log's covered segments).
+//
+// The clean reference also runs through a (sync-mode) WAL'd pipeline, so
+// both sides assign identical sequence numbers and the comparison covers
+// the snapshot's per-shard watermarks, not just the trees. Replay
+// throughput is informational; the byte-identity columns are the
+// assertion.
+func WALRecovery(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Extra: crash recovery — snapshot + WAL replay (internal/wal) ==")
+	t := metrics.NewTable("dataset", "shards", "edges", "replay", "replay-only", "snap+tail")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		for _, n := range shardCounts {
+			ref, err := walCleanRun(ds, n, uint64(o.Seed))
+			if err != nil {
+				return err
+			}
+			eps, err := walCrashRecover(ds, n, uint64(o.Seed), ref, false)
+			if err != nil {
+				return err
+			}
+			if _, err := walCrashRecover(ds, n, uint64(o.Seed), ref, true); err != nil {
+				return err
+			}
+			t.AddRow(ds.Name, fmt.Sprint(n), fmt.Sprint(len(ds.Stream)),
+				metrics.FormatEPS(eps), "byte-equal", "byte-equal")
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// walShardConfig is the summary configuration shared by the reference and
+// crash runs — identical seeds partition identically, the precondition for
+// byte comparison.
+func walShardConfig(n int, seed uint64) shard.Config {
+	cfg := shard.DefaultConfig()
+	cfg.Shards = n
+	cfg.Core.Seed = seed
+	return cfg
+}
+
+// walSubmitAll replays the dataset through the pipeline as fixed-size
+// batches from a single producer — so the reference and crash runs assign
+// every edge the same WAL sequence number — retrying full queues.
+func walSubmitAll(p *ingest.Pipeline, st stream.Stream) error {
+	for lo := 0; lo < len(st); lo += walBatch {
+		hi := lo + walBatch
+		if hi > len(st) {
+			hi = len(st)
+		}
+		if err := submitRetry(p, st[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walSnapshot finalizes the summary and returns its serialized snapshot.
+func walSnapshot(s *shard.Summary) ([]byte, error) {
+	s.Finalize()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// walCleanRun produces the reference: the stream ingested synchronously
+// through a WAL-backed pipeline with an orderly close.
+func walCleanRun(ds *Dataset, n int, seed uint64) ([]byte, error) {
+	fail := func(err error) ([]byte, error) {
+		return nil, fmt.Errorf("bench: walrecovery %d: clean reference: %w", n, err)
+	}
+	dir, err := os.MkdirTemp("", "higgs-walrecovery-*")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir)
+	log, err := wal.Open(wal.Config{Dir: dir})
+	if err != nil {
+		return fail(err)
+	}
+	defer log.Close()
+	sum, err := shard.New(walShardConfig(n, seed))
+	if err != nil {
+		return fail(err)
+	}
+	defer sum.Close()
+	p, err := ingest.New(sum, ingest.Config{Mode: ingest.ModeSync, WAL: log})
+	if err != nil {
+		return fail(err)
+	}
+	if err := walSubmitAll(p, ds.Stream); err != nil {
+		return fail(err)
+	}
+	p.Close()
+	snap, err := walSnapshot(sum)
+	if err != nil {
+		return fail(err)
+	}
+	return snap, nil
+}
+
+// walCrashRecover ingests the stream through an async WAL-backed pipeline,
+// crashes it, recovers from disk, and compares against the reference. With
+// midSnapshot it also takes one background snapshot halfway through —
+// verifying the covered WAL segments are truncated — so recovery exercises
+// the snapshot + tail path rather than a full replay. It returns the
+// replay throughput (edges/s) of the recovery.
+func walCrashRecover(ds *Dataset, n int, seed uint64, ref []byte, midSnapshot bool) (float64, error) {
+	variant := "replay-only"
+	if midSnapshot {
+		variant = "snap+tail"
+	}
+	fail := func(err error) (float64, error) {
+		return 0, fmt.Errorf("bench: walrecovery %d (%s): %w", n, variant, err)
+	}
+	dir, err := os.MkdirTemp("", "higgs-walrecovery-*")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir)
+	// Small segments so a mid-stream snapshot has whole segments to drop.
+	wcfg := wal.Config{Dir: dir, SegmentBytes: 1 << 16}
+	log, err := wal.Open(wcfg)
+	if err != nil {
+		return fail(err)
+	}
+	sum, err := shard.New(walShardConfig(n, seed))
+	if err != nil {
+		return fail(err)
+	}
+	p, err := ingest.New(sum, ingest.Config{
+		Mode: ingest.ModeAsync, QueueDepth: 1024, CommitInterval: 100 * time.Microsecond, WAL: log,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	snapPath := filepath.Join(dir, "snapshot.higgs")
+	if midSnapshot {
+		if err := walSubmitAll(p, ds.Stream[:len(ds.Stream)/2]); err != nil {
+			return fail(err)
+		}
+		segsBefore := log.Segments()
+		snapper := ingest.NewSnapshotter(sum, p, log, snapPath, 0, nil)
+		if err := snapper.Snap(); err != nil {
+			return fail(err)
+		}
+		// The active segment can never be dropped, so the truncation rule
+		// is only observable once the half-stream spans several segments.
+		if segsBefore > 1 && log.Segments() >= segsBefore {
+			return fail(fmt.Errorf("snapshot left %d of %d segments: covered prefix not truncated",
+				log.Segments(), segsBefore))
+		}
+		if err := walSubmitAll(p, ds.Stream[len(ds.Stream)/2:]); err != nil {
+			return fail(err)
+		}
+	} else if err := walSubmitAll(p, ds.Stream); err != nil {
+		return fail(err)
+	}
+	// Crash: no flush, no orderly close of the served state — the summary
+	// and its queues are abandoned; recovery may use only the disk.
+	// (Close only reclaims the goroutines and file handle; every accepted
+	// batch was already fsync'd before Submit returned, so the on-disk log
+	// is exactly what a hard kill would leave.)
+	p.Close()
+	sum.Close()
+	if err := log.Close(); err != nil {
+		return fail(err)
+	}
+
+	log2, err := wal.Open(wcfg)
+	if err != nil {
+		return fail(err)
+	}
+	defer log2.Close()
+	recovered, err := loadSnapshotOrNew(snapPath, n, seed)
+	if err != nil {
+		return fail(err)
+	}
+	defer recovered.Close()
+	start := time.Now()
+	replayed, err := ingest.Recover(recovered, log2)
+	if err != nil {
+		return fail(err)
+	}
+	eps := metrics.Throughput(replayed, time.Since(start))
+	if midSnapshot && (replayed == 0 || replayed >= int64(len(ds.Stream))) {
+		return fail(fmt.Errorf("replayed %d edges; want a strict tail of %d", replayed, len(ds.Stream)))
+	}
+	if got := recovered.Items(); got != int64(len(ds.Stream)) {
+		return fail(fmt.Errorf("recovered %d items, want %d", got, len(ds.Stream)))
+	}
+	snap, err := walSnapshot(recovered)
+	if err != nil {
+		return fail(err)
+	}
+	if !bytes.Equal(snap, ref) {
+		return fail(fmt.Errorf("recovered snapshot diverges from the clean run (%d vs %d bytes)",
+			len(snap), len(ref)))
+	}
+	return eps, nil
+}
+
+// loadSnapshotOrNew restores the snapshot at path, or builds an empty
+// summary when none was taken before the crash.
+func loadSnapshotOrNew(path string, n int, seed uint64) (*shard.Summary, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return shard.New(walShardConfig(n, seed))
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return shard.Read(f)
+}

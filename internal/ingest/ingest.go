@@ -8,14 +8,23 @@
 // a single lock acquisition (shard.Summary.InsertShard), so N tiny submits
 // cost ~1 lock per shard per drain.
 //
-// The contract is admission, not durability: Submit returning nil means the
-// edges are accepted and will be applied in order, and a later Flush
-// returns only after every previously accepted edge is visible to queries.
-// When a shard's queue is full Submit rejects the whole batch with
+// The base contract is admission, not durability: Submit returning nil
+// means the edges are accepted and will be applied in order, and a later
+// Flush returns only after every previously accepted edge is visible to
+// queries. When a shard's queue is full Submit rejects the whole batch with
 // ErrQueueFull and applies nothing — backpressure the HTTP layer surfaces
 // as 429. Close drains all pending batches before returning, so an orderly
 // shutdown never drops accepted edges (close the pipeline before closing
 // the summary).
+//
+// Configuring a write-ahead log (Config.WAL, package wal, DESIGN.md §12)
+// upgrades acceptance to durability: Submit appends the batch to the log
+// and waits for the covering group fsync before returning, so an accepted
+// edge survives a crash, not just an orderly shutdown. Admission then runs
+// inside the log's Append — the log's mutex becomes the ordering point, so
+// each shard receives its edges in WAL sequence order and the per-shard
+// watermarks (shard.Summary.InsertShardAt) stay exact. Recovery is
+// Recover: load the latest snapshot, replay the log tail, resume.
 package ingest
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"higgs/internal/shard"
 	"higgs/internal/stream"
+	"higgs/internal/wal"
 )
 
 // Mode selects how Submit applies batches.
@@ -104,6 +114,12 @@ type Config struct {
 	// SyncThreshold is the minimum batch size ModeAuto considers large
 	// enough to apply synchronously (default 512).
 	SyncThreshold int
+	// WAL, when non-nil, is the write-ahead log every batch is appended to
+	// — and group-fsync'd — before Submit accepts it, so accepted edges
+	// survive a crash (DESIGN.md §12). The pipeline uses the log but does
+	// not own it: the caller opens it before New (typically after replaying
+	// it with Recover) and closes it after Close.
+	WAL *wal.Log
 }
 
 // DefaultConfig returns the default pipeline configuration.
@@ -150,6 +166,12 @@ type queue struct {
 	spare    []stream.Edge // recycled backing array for the next buf
 	enqueued uint64
 	applied  uint64
+	// walSeq is the WAL sequence number of the newest edge in buf (0 when
+	// the pipeline has no WAL). Enqueue order is sequence order per shard
+	// (the WAL's deliver callback runs under the log mutex), so walSeq is
+	// exactly the watermark the whole buffer advances the shard to when a
+	// drain applies it.
+	walSeq uint64
 	// urgent asks the committer to skip its accumulation window on the
 	// next drain. Set (under mu) by Flush; a kick alone is not enough,
 	// because a kick sent while one is already pending is dropped, and the
@@ -181,6 +203,7 @@ func (q *queue) kickCommitter() {
 type Pipeline struct {
 	sum    *shard.Summary
 	cfg    Config
+	wal    *wal.Log // nil when durability is not configured
 	queues []*queue // nil in ModeSync
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -204,6 +227,7 @@ func New(sum *shard.Summary, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		sum:  sum,
 		cfg:  cfg.withDefaults(),
+		wal:  cfg.WAL,
 		stop: make(chan struct{}),
 	}
 	if p.cfg.Mode == ModeSync {
@@ -238,7 +262,9 @@ func (p *Pipeline) Pending() int64 {
 // the batch was applied synchronously (true: immediately visible to
 // queries) or accepted into queues (false: visible after the shard's next
 // commit, or at the latest after Flush). On ErrQueueFull or ErrClosed
-// nothing was applied or enqueued.
+// nothing was applied or enqueued. With a WAL configured, Submit returns
+// only after the batch's log record is fsync'd, so a nil error also means
+// the batch survives a crash.
 //
 // Ordering: batches submitted sequentially by one goroutine are applied to
 // each shard in submission order. Batches submitted concurrently by
@@ -251,18 +277,17 @@ func (p *Pipeline) Submit(edges []stream.Edge) (applied bool, err error) {
 	if p.closed.Load() {
 		return false, ErrClosed
 	}
+	if p.wal != nil {
+		return p.submitWAL(edges)
+	}
 	if p.cfg.Mode == ModeSync {
 		p.sum.InsertBatch(edges)
 		return true, nil
 	}
 	if len(edges) == 1 {
-		return false, p.enqueueOne(p.sum.ShardFor(edges[0].S), edges[0])
+		return false, p.enqueueOne(p.sum.ShardFor(edges[0].S), edges[0], 0)
 	}
-	groups := make(map[int][]stream.Edge)
-	for _, e := range edges {
-		i := p.sum.ShardFor(e.S)
-		groups[i] = append(groups[i], e)
-	}
+	groups, _ := p.group(edges)
 	if p.cfg.Mode == ModeAuto && len(edges) >= p.cfg.SyncThreshold && p.idle(groups) {
 		// Apply the groups already built rather than InsertBatch, which
 		// would re-hash and re-group every edge.
@@ -271,13 +296,68 @@ func (p *Pipeline) Submit(edges []stream.Edge) (applied bool, err error) {
 		}
 		return true, nil
 	}
-	return false, p.enqueueGroups(groups)
+	return false, p.enqueueGroups(groups, nil)
+}
+
+// group partitions a batch by target shard, preserving relative order, and
+// records the original index of each group's last edge — what the WAL path
+// needs to derive per-shard maximum sequence numbers from the record's
+// first.
+func (p *Pipeline) group(edges []stream.Edge) (groups map[int][]stream.Edge, lastIdx map[int]int) {
+	groups = make(map[int][]stream.Edge)
+	lastIdx = make(map[int]int)
+	for j, e := range edges {
+		i := p.sum.ShardFor(e.S)
+		groups[i] = append(groups[i], e)
+		lastIdx[i] = j
+	}
+	return groups, lastIdx
+}
+
+// submitWAL is Submit's durable path: the batch is delivered (applied or
+// enqueued) inside the log's Append — under the log mutex, so per-shard
+// admission order is WAL sequence order — and then Submit blocks until the
+// group fsync covers the record. A full queue aborts the append before any
+// record is written, so a 429'd batch leaves nothing to replay. A log
+// write or sync failure is returned after delivery: the edges are admitted
+// for this process's lifetime but will not survive a crash, and the log's
+// sticky error makes every later Submit fail the same way.
+func (p *Pipeline) submitWAL(edges []stream.Edge) (applied bool, err error) {
+	groups, lastIdx := p.group(edges)
+	last, err := p.wal.Append(edges, func(first uint64) error {
+		seqs := make(map[int]uint64, len(lastIdx))
+		for i, li := range lastIdx {
+			seqs[i] = first + uint64(li)
+		}
+		// The sync paths (sync mode; auto mode's large batches) may apply
+		// directly only when every target queue is empty: enqueues happen
+		// under the log mutex we hold, so "idle now" cannot turn into "a
+		// lower sequence is waiting" before we apply — the property that
+		// keeps per-shard applies in sequence order.
+		if p.cfg.Mode == ModeSync ||
+			(p.cfg.Mode == ModeAuto && len(edges) >= p.cfg.SyncThreshold && p.idle(groups)) {
+			for i, g := range groups {
+				p.sum.InsertShardAt(i, g, seqs[i])
+			}
+			applied = true
+			return nil
+		}
+		return p.enqueueGroups(groups, seqs)
+	})
+	if err != nil {
+		return applied, err
+	}
+	return applied, p.wal.WaitSynced(last)
 }
 
 // idle reports whether every shard targeted by groups has an empty backlog
 // — the condition under which a synchronous apply cannot overtake queued
-// edges from the same sequential client.
+// edges from the same sequential client (and, on the WAL path, cannot
+// overtake a lower sequence number).
 func (p *Pipeline) idle(groups map[int][]stream.Edge) bool {
+	if p.queues == nil {
+		return true
+	}
 	for i := range groups {
 		q := p.queues[i]
 		q.mu.Lock()
@@ -302,8 +382,9 @@ func (p *Pipeline) fits(q *queue, n int) bool {
 // appended to a non-empty buffer is already covered by the pending kick,
 // or by the drain that must serialize after this append to empty the
 // buffer) and at capacity, so a stream of tiny submits pays one channel
-// send per drain, not per edge.
-func (p *Pipeline) enqueueOne(i int, e stream.Edge) error {
+// send per drain, not per edge. seq is the edge's WAL sequence number
+// (0 without a WAL).
+func (p *Pipeline) enqueueOne(i int, e stream.Edge, seq uint64) error {
 	q := p.queues[i]
 	q.mu.Lock()
 	if p.closed.Load() {
@@ -317,6 +398,9 @@ func (p *Pipeline) enqueueOne(i int, e stream.Edge) error {
 	wasEmpty := len(q.buf) == 0
 	q.buf = append(q.buf, e)
 	q.enqueued++
+	if seq > q.walSeq {
+		q.walSeq = seq
+	}
 	full := len(q.buf) >= p.cfg.QueueDepth
 	q.mu.Unlock()
 	if wasEmpty || full {
@@ -329,8 +413,9 @@ func (p *Pipeline) enqueueOne(i int, e stream.Edge) error {
 // locked in ascending shard order (deadlock-free against concurrent
 // multi-shard submits), capacity is checked for every group, and only then
 // is anything appended. A rejected batch leaves no partial state, so a 429
-// retry cannot double-insert.
-func (p *Pipeline) enqueueGroups(groups map[int][]stream.Edge) error {
+// retry cannot double-insert. seqs, when non-nil, carries each group's
+// highest WAL sequence number and advances the queues' walSeq marks.
+func (p *Pipeline) enqueueGroups(groups map[int][]stream.Edge, seqs map[int]uint64) error {
 	idx := make([]int, 0, len(groups))
 	for i := range groups {
 		idx = append(idx, i)
@@ -360,6 +445,9 @@ func (p *Pipeline) enqueueGroups(groups map[int][]stream.Edge) error {
 		wasEmpty := len(q.buf) == 0
 		q.buf = append(q.buf, groups[i]...)
 		q.enqueued += uint64(len(groups[i]))
+		if s := seqs[i]; s > q.walSeq {
+			q.walSeq = s
+		}
 		kicks = append(kicks, wasEmpty || len(q.buf) >= p.cfg.QueueDepth)
 	}
 	unlock()
@@ -420,6 +508,7 @@ func (p *Pipeline) drain(i int) {
 		return
 	}
 	edges := q.buf
+	seq := q.walSeq // the buffer's newest edge: enqueue order is seq order
 	q.buf = q.spare
 	q.spare = nil
 	q.urgent = false
@@ -427,7 +516,7 @@ func (p *Pipeline) drain(i int) {
 	if h := p.applyHook; h != nil {
 		h(i, len(edges))
 	}
-	p.sum.InsertShard(i, edges)
+	p.sum.InsertShardAt(i, edges, seq)
 	q.mu.Lock()
 	q.applied += uint64(len(edges))
 	// Recycle the drained backing array: the two arrays ping-pong between

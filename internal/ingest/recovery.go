@@ -1,0 +1,208 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"higgs/internal/shard"
+	"higgs/internal/stream"
+	"higgs/internal/wal"
+)
+
+// Recover replays a write-ahead log into a summary — the boot half of the
+// snapshot + WAL-replay recovery design (DESIGN.md §12). The summary is
+// either freshly constructed (replay-from-scratch) or loaded from the
+// latest snapshot; each shard's durability watermark (shard.ShardSeq)
+// tells Recover which of its edges the snapshot already contains, so
+// replay applies exactly the tail each shard is missing and never double
+// counts. Edges are applied through the same group-commit primitive the
+// committers use (InsertShardAt), one log record at a time, preserving
+// per-shard sequence order.
+//
+// Recover must run after wal.Open and before the log is handed to a
+// pipeline (Replay must not race Append). It returns the number of edges
+// applied.
+func Recover(sum *shard.Summary, log *wal.Log) (replayed int64, err error) {
+	marks := make([]uint64, sum.NumShards())
+	for i := range marks {
+		marks[i] = sum.ShardSeq(i)
+	}
+	groups := make(map[int][]stream.Edge)
+	gmax := make(map[int]uint64)
+	err = log.Replay(func(first uint64, edges []stream.Edge) error {
+		clear(groups)
+		for j, e := range edges {
+			seq := first + uint64(j)
+			i := sum.ShardFor(e.S)
+			if seq <= marks[i] {
+				continue // the snapshot already holds this edge
+			}
+			groups[i] = append(groups[i], e)
+			gmax[i] = seq
+		}
+		for i, g := range groups {
+			sum.InsertShardAt(i, g, gmax[i])
+			marks[i] = gmax[i]
+			replayed += int64(len(g))
+		}
+		return nil
+	})
+	if err != nil {
+		return replayed, fmt.Errorf("ingest: recover: %w", err)
+	}
+	return replayed, nil
+}
+
+// WriteSnapshot writes the summary's snapshot to path atomically: encode
+// into a same-directory temp file, fsync it, rename over path, and fsync
+// the directory — so a crash mid-snapshot leaves the previous snapshot
+// intact and a renamed snapshot is durably the new one. It is the write
+// half of the Snapshotter and of higgsd's shutdown path.
+func WriteSnapshot(sum *shard.Summary, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	if _, err := sum.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	wal.SyncDir(filepath.Dir(path))
+	return nil
+}
+
+// Snapshotter takes periodic background snapshots of a WAL-backed
+// pipeline's summary and truncates the log's covered prefix (DESIGN.md
+// §12). One snapshot is: record the log's last appended sequence S, flush
+// the pipeline (every accepted edge ≤ S becomes applied — Flush never
+// blocks admission), write the snapshot atomically, then drop every log
+// segment wholly ≤ S. Ingest is never stalled: the flush barrier waits
+// without blocking Submit, and the snapshot encoder locks one shard at a
+// time.
+type Snapshotter struct {
+	sum      *shard.Summary
+	pipe     *Pipeline
+	log      *wal.Log
+	path     string
+	interval time.Duration
+	onError  func(error)
+
+	lastSeq  atomic.Uint64
+	lastUnix atomic.Int64
+
+	mu      sync.Mutex // serializes Snap against itself and the loop
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+	once    sync.Once
+}
+
+// NewSnapshotter returns a snapshotter over the pipeline's summary and
+// log, writing snapshots to path every interval once Start is called
+// (interval ≤ 0 disables the loop; Snap still works on demand). onError,
+// when non-nil, observes background snapshot failures; the loop keeps
+// running, so a transiently full disk degrades to a longer WAL rather
+// than a dead snapshotter.
+func NewSnapshotter(sum *shard.Summary, pipe *Pipeline, log *wal.Log, path string, interval time.Duration, onError func(error)) *Snapshotter {
+	return &Snapshotter{
+		sum:      sum,
+		pipe:     pipe,
+		log:      log,
+		path:     path,
+		interval: interval,
+		onError:  onError,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the periodic loop. It is a no-op when the interval is
+// not positive (Snap still works on demand).
+func (s *Snapshotter) Start() {
+	if s.interval <= 0 || !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go s.run()
+}
+
+func (s *Snapshotter) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Snap(); err != nil && s.onError != nil {
+				s.onError(err)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Snap takes one snapshot now: flush, write atomically, truncate the
+// covered WAL prefix, and record the covered sequence for LastSeq. It is
+// safe to call concurrently with the background loop and with live
+// ingest.
+func (s *Snapshotter) Snap() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	floor := s.log.LastSeq()
+	s.pipe.Flush()
+	if err := WriteSnapshot(s.sum, s.path); err != nil {
+		return err
+	}
+	if _, err := s.log.TruncateThrough(floor); err != nil {
+		return err
+	}
+	s.lastSeq.Store(floor)
+	s.lastUnix.Store(time.Now().Unix())
+	return nil
+}
+
+// Close stops the periodic loop (it does not take a final snapshot — the
+// shutdown sequence calls Snap explicitly after draining the pipeline).
+// Close is idempotent.
+func (s *Snapshotter) Close() {
+	s.once.Do(func() { close(s.stop) })
+	if s.started.Load() {
+		<-s.done
+	}
+}
+
+// LastSeq returns the sequence number the latest completed snapshot
+// covers (0 before the first).
+func (s *Snapshotter) LastSeq() uint64 { return s.lastSeq.Load() }
+
+// LastTime returns when the latest snapshot completed (zero time before
+// the first).
+func (s *Snapshotter) LastTime() time.Time {
+	u := s.lastUnix.Load()
+	if u == 0 {
+		return time.Time{}
+	}
+	return time.Unix(u, 0)
+}
+
+// Path returns the snapshot file the snapshotter writes.
+func (s *Snapshotter) Path() string { return s.path }

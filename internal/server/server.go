@@ -31,6 +31,14 @@
 // retry the identical batch. The one exception to 202 durability is a
 // snapshot upload, which by design discards the entire served summary,
 // accepted-but-uncommitted edges included.
+//
+// With a write-ahead log behind the pipeline (higgsd -wal-dir, DESIGN.md
+// §12) the 202 contract strengthens from process-lifetime to crash
+// durability: the batch is fsync'd before the response, GET /healthz
+// reports the WAL/snapshot state in its "durability" field, and POST
+// /v1/snapshot is rejected with 409 — the log owns the durable state, and
+// swapping in a foreign summary would desynchronize its watermarks from
+// the log's sequences.
 package server
 
 import (
@@ -70,10 +78,44 @@ type state struct {
 // summary/pipeline pair is swapped atomically on snapshot upload, so
 // in-flight requests always see a consistent summary.
 type Server struct {
-	st     atomic.Pointer[state]
-	icfg   ingest.Config
-	closed atomic.Bool
+	st         atomic.Pointer[state]
+	icfg       ingest.Config
+	closed     atomic.Bool
+	durability atomic.Pointer[func() DurabilityStatus]
 }
+
+// DurabilityStatus is the WAL/snapshot state /healthz reports (DESIGN.md
+// §12). All sequence numbers are WAL sequences; 0 means "nothing yet".
+type DurabilityStatus struct {
+	// WAL reports whether a write-ahead log backs /v1/ingest.
+	WAL bool `json:"wal"`
+	// AppendedSeq is the last sequence number appended to the log.
+	AppendedSeq uint64 `json:"appended_seq,omitempty"`
+	// SyncedSeq is the durability frontier: the highest sequence known to
+	// be fsync'd. Every 202 response covers a sequence ≤ SyncedSeq.
+	SyncedSeq uint64 `json:"synced_seq,omitempty"`
+	// Segments is the number of live WAL segment files.
+	Segments int `json:"segments,omitempty"`
+	// SnapshotSeq is the sequence the latest completed snapshot covers;
+	// WAL records at or below it have been (or are about to be) truncated.
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	// SnapshotUnix is when the latest snapshot completed (Unix seconds).
+	SnapshotUnix int64 `json:"snapshot_unix,omitempty"`
+}
+
+// SetDurability installs the probe /healthz calls for the "durability"
+// field and marks the server's durable state as WAL-owned: POST
+// /v1/snapshot is then rejected with 409, because replacing the served
+// summary underneath a live log would desynchronize snapshot watermarks
+// from the log's sequences. cmd/higgsd installs it when -wal-dir is set.
+func (s *Server) SetDurability(fn func() DurabilityStatus) {
+	s.durability.Store(&fn)
+}
+
+// Pipeline returns the ingest pipeline currently feeding the served
+// summary, so operational layers (the background snapshotter) can flush
+// it. With durability enabled the pair is never swapped.
+func (s *Server) Pipeline() *ingest.Pipeline { return s.st.Load().pipe }
 
 // New returns a server over the given sharded summary with the default
 // ingest pipeline configuration.
@@ -497,10 +539,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.st.Load()
+	var durability DurabilityStatus
+	if fn := s.durability.Load(); fn != nil {
+		durability = (*fn)()
+	}
 	writeJSON(w, map[string]any{
-		"status": "ok",
-		"shards": st.sum.NumShards(),
-		"ingest": st.pipe.Mode().String(),
+		"status":     "ok",
+		"shards":     st.sum.NumShards(),
+		"ingest":     st.pipe.Mode().String(),
+		"durability": durability,
 	})
 }
 
@@ -523,6 +570,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		if s.closed.Load() {
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		if s.durability.Load() != nil {
+			httpError(w, http.StatusConflict,
+				"snapshot upload disabled: durable state is owned by the write-ahead log (-wal-dir)")
 			return
 		}
 		loaded, err := shard.Read(r.Body)

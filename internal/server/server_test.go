@@ -858,3 +858,47 @@ func TestV2QueryItemCapStreams(t *testing.T) {
 		}
 	}
 }
+
+func TestHealthzDurability(t *testing.T) {
+	srv, ts := newTestServerShards(t, 2)
+	// Without durability configured, /healthz reports wal=false.
+	got := decode[map[string]any](t, get(t, ts.URL+"/healthz"))
+	d, ok := got["durability"].(map[string]any)
+	if !ok || d["wal"] != false {
+		t.Fatalf("durability without WAL = %v", got["durability"])
+	}
+	srv.SetDurability(func() DurabilityStatus {
+		return DurabilityStatus{WAL: true, AppendedSeq: 42, SyncedSeq: 40, Segments: 2, SnapshotSeq: 17}
+	})
+	got = decode[map[string]any](t, get(t, ts.URL+"/healthz"))
+	d, ok = got["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("durability missing: %v", got)
+	}
+	if d["wal"] != true || d["appended_seq"] != float64(42) ||
+		d["synced_seq"] != float64(40) || d["segments"] != float64(2) ||
+		d["snapshot_seq"] != float64(17) {
+		t.Fatalf("durability = %v", d)
+	}
+}
+
+func TestSnapshotUploadRejectedWhenWALOwnsState(t *testing.T) {
+	srv, ts := newTestServerShards(t, 2)
+	srv.SetDurability(func() DurabilityStatus { return DurabilityStatus{WAL: true} })
+	// GET (download) stays available.
+	resp := get(t, ts.URL+"/v1/snapshot")
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot download: status %d, err %v", resp.StatusCode, err)
+	}
+	// POST (upload) is rejected: the WAL owns the durable state.
+	resp, err = http.Post(ts.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot upload with WAL: status %d, want 409", resp.StatusCode)
+	}
+}

@@ -12,12 +12,15 @@ import (
 )
 
 // Sharded snapshot format: a thin frame around the core snapshot codec.
-// After the magic, version, and shard count, each shard's complete core
-// snapshot follows as one length-prefixed byte string, so shards decode
-// independently and the frame never needs to understand core's layout.
+// After the magic, version, and shard count, each shard follows as its
+// durability watermark (version ≥ 2; the WAL sequence plumbing of
+// DESIGN.md §12) plus the shard's complete core snapshot as one
+// length-prefixed byte string, so shards decode independently and the
+// frame never needs to understand core's layout. Version-1 snapshots (no
+// watermarks) still load, with every watermark zero.
 const (
 	snapshotMagic   = 0x48494753 // "HIGS" (core snapshots start "HIGG")
-	snapshotVersion = 1
+	snapshotVersion = 2
 
 	// maxShardSnapshot guards the decoder against corrupted length
 	// prefixes allocating unbounded memory.
@@ -25,8 +28,11 @@ const (
 )
 
 // WriteTo serializes the sharded summary. Each shard is encoded under its
-// write lock (core's WriteTo seals pending aggregates), so WriteTo may run
-// while other shards continue ingesting. WriteTo implements io.WriterTo.
+// write lock (core's WriteTo seals pending aggregates) together with its
+// durability watermark — the pair is captured atomically, so a snapshot
+// taken during live WAL-backed ingest is per-shard consistent: the frame
+// holds exactly the edges its watermark claims. Shards not being encoded
+// continue ingesting. WriteTo implements io.WriterTo.
 func (s *Summary) WriteTo(w io.Writer) (int64, error) {
 	ww := wire.NewWriter(w)
 	ww.U64(snapshotMagic)
@@ -36,11 +42,13 @@ func (s *Summary) WriteTo(w io.Writer) (int64, error) {
 	for i, sl := range s.slots {
 		buf.Reset()
 		sl.mu.Lock()
+		seq := sl.seq
 		_, err := sl.sum.WriteTo(&buf)
 		sl.mu.Unlock()
 		if err != nil {
 			return ww.Written(), fmt.Errorf("shard: encode shard %d: %w", i, err)
 		}
+		ww.U64(seq)
 		ww.Bytes(buf.Bytes())
 	}
 	err := ww.Flush()
@@ -62,7 +70,10 @@ func Read(r io.Reader) (*Summary, error) {
 	}
 	rr := wire.NewReader(br)
 	rr.Expect(snapshotMagic, "sharded snapshot magic")
-	rr.Expect(snapshotVersion, "sharded snapshot version")
+	version := rr.U64()
+	if err := rr.Err(); err == nil && (version < 1 || version > snapshotVersion) {
+		return nil, fmt.Errorf("shard: unsupported snapshot version %d (want 1..%d)", version, snapshotVersion)
+	}
 	n := rr.Int()
 	if err := rr.Err(); err != nil {
 		return nil, fmt.Errorf("shard: read snapshot header: %w", err)
@@ -72,6 +83,10 @@ func Read(r io.Reader) (*Summary, error) {
 	}
 	slots := make([]*slot, n)
 	for i := range slots {
+		var seq uint64
+		if version >= 2 {
+			seq = rr.U64()
+		}
 		blob := rr.Bytes(maxShardSnapshot)
 		if err := rr.Err(); err != nil {
 			return nil, fmt.Errorf("shard: read shard %d frame: %w", i, err)
@@ -80,7 +95,7 @@ func Read(r io.Reader) (*Summary, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard: decode shard %d: %w", i, err)
 		}
-		slots[i] = &slot{sum: cs}
+		slots[i] = &slot{sum: cs, seq: seq}
 	}
 	cfg := Config{Shards: n, Core: slots[0].sum.Config()}
 	for i, sl := range slots {

@@ -70,6 +70,14 @@ func (c Config) Validate() error {
 type slot struct {
 	mu  sync.RWMutex
 	sum *core.Summary
+	// seq is the shard's durability watermark: the highest write-ahead-log
+	// sequence number applied to this shard (0 when the shard has never
+	// seen WAL-sequenced edges). It advances under mu together with the
+	// apply (InsertShardAt), so a snapshot frame — serialized under the
+	// same lock — always pairs the shard's contents with the exact
+	// watermark splitting "already in the snapshot" from "replay me"
+	// (DESIGN.md §12).
+	seq uint64
 }
 
 // Summary is a sharded HIGGS graph stream summary. It is safe for
@@ -171,12 +179,37 @@ func (s *Summary) InsertBatch(edges []stream.Edge) {
 // query results, so only callers that partition with ShardFor (as
 // InsertBatch and the ingest committers do) may use this.
 func (s *Summary) InsertShard(i int, edges []stream.Edge) {
+	s.InsertShardAt(i, edges, 0)
+}
+
+// InsertShardAt is InsertShard for WAL-sequenced batches: it applies the
+// edges and advances the shard's durability watermark to seq — the highest
+// write-ahead-log sequence number in the batch — under the same write-lock
+// acquisition. Callers must apply each shard's edges in ascending sequence
+// order (the WAL's deliver callback guarantees admission order is sequence
+// order); seq 0 leaves the watermark untouched, which is how the
+// non-durable paths behave.
+func (s *Summary) InsertShardAt(i int, edges []stream.Edge, seq uint64) {
 	sl := s.slots[i]
 	sl.mu.Lock()
 	for _, e := range edges {
 		sl.sum.Insert(e)
 	}
+	if seq > sl.seq {
+		sl.seq = seq
+	}
 	sl.mu.Unlock()
+}
+
+// ShardSeq returns shard i's durability watermark: every WAL-sequenced
+// edge owned by the shard with sequence number ≤ ShardSeq(i) has been
+// applied. Recovery uses it to skip replaying edges a snapshot already
+// contains.
+func (s *Summary) ShardSeq(i int) uint64 {
+	sl := s.slots[i]
+	sl.mu.RLock()
+	defer sl.mu.RUnlock()
+	return sl.seq
 }
 
 // Delete removes one previously inserted item from the shard of its source

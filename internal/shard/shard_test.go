@@ -299,3 +299,79 @@ func TestAdoptPreservesContents(t *testing.T) {
 		t.Fatalf("NumShards = %d, want 1", s.NumShards())
 	}
 }
+
+func TestInsertShardAtWatermark(t *testing.T) {
+	s := newSharded(t, 4)
+	defer s.Close()
+	for i := 0; i < s.NumShards(); i++ {
+		if got := s.ShardSeq(i); got != 0 {
+			t.Fatalf("fresh shard %d watermark = %d, want 0", i, got)
+		}
+	}
+	e := stream.Edge{S: 1, D: 2, W: 1, T: 10}
+	i := s.ShardFor(e.S)
+	s.InsertShardAt(i, []stream.Edge{e}, 7)
+	if got := s.ShardSeq(i); got != 7 {
+		t.Fatalf("watermark after seq-7 apply = %d, want 7", got)
+	}
+	// Watermarks only advance: a lower (or zero) seq leaves them alone.
+	s.InsertShardAt(i, []stream.Edge{{S: e.S, D: 3, W: 1, T: 11}}, 5)
+	s.InsertShard(i, []stream.Edge{{S: e.S, D: 4, W: 1, T: 12}})
+	if got := s.ShardSeq(i); got != 7 {
+		t.Fatalf("watermark after lower/zero seq = %d, want 7", got)
+	}
+	s.InsertShardAt(i, []stream.Edge{{S: e.S, D: 5, W: 1, T: 13}}, 9)
+	if got := s.ShardSeq(i); got != 9 {
+		t.Fatalf("watermark after seq-9 apply = %d, want 9", got)
+	}
+	// Other shards are untouched.
+	for j := 0; j < s.NumShards(); j++ {
+		if j != i && s.ShardSeq(j) != 0 {
+			t.Fatalf("shard %d watermark = %d, want 0", j, s.ShardSeq(j))
+		}
+	}
+}
+
+func TestSnapshotPreservesWatermarks(t *testing.T) {
+	s := newSharded(t, 3)
+	defer s.Close()
+	st := testStream(t, 50, 400)
+	for k, e := range st {
+		i := s.ShardFor(e.S)
+		s.InsertShardAt(i, []stream.Edge{e}, uint64(k+1))
+	}
+	want := make([]uint64, s.NumShards())
+	for i := range want {
+		want[i] = s.ShardSeq(i)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.NumShards() != s.NumShards() {
+		t.Fatalf("loaded %d shards, want %d", loaded.NumShards(), s.NumShards())
+	}
+	for i := range want {
+		if got := loaded.ShardSeq(i); got != want[i] {
+			t.Fatalf("loaded shard %d watermark = %d, want %d", i, got, want[i])
+		}
+	}
+	if got, want := loaded.Items(), s.Items(); got != want {
+		t.Fatalf("loaded items = %d, want %d", got, want)
+	}
+}
+
+func TestAdoptedLegacySummaryHasZeroWatermark(t *testing.T) {
+	cs := core.MustNew(core.DefaultConfig())
+	cs.Insert(stream.Edge{S: 1, D: 2, W: 3, T: 5})
+	s := Adopt(cs)
+	defer s.Close()
+	if got := s.ShardSeq(0); got != 0 {
+		t.Fatalf("adopted watermark = %d, want 0", got)
+	}
+}

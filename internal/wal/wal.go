@@ -1,0 +1,741 @@
+// Package wal implements the segmented, fsync-batched write-ahead log that
+// gives the ingest pipeline durability beyond the process lifetime
+// (DESIGN.md §12). The async pipeline of package ingest 202-accepts edges
+// that otherwise live only in queue memory; appending every accepted batch
+// to the log — and group-syncing the segment before the accept is reported
+// — makes a crash recoverable: on restart the latest snapshot is loaded and
+// the log tail is replayed through the same per-shard apply primitive the
+// committers use.
+//
+// # Layout and format
+//
+// A log is a directory of segment files named by the sequence number of
+// their first record ("%020d.wal"). Each segment starts with a small header
+// (magic + version) followed by records. A record frames one appended
+// batch: a fixed-width length and CRC32 over a varint payload carrying the
+// batch's first sequence number, the edge count, and the edges themselves.
+// Records never span segments; when the active segment exceeds
+// Config.SegmentBytes it is flushed, synced, closed, and a new one begins.
+//
+// # Sequence numbers
+//
+// Every appended edge receives a global sequence number (the first is 1;
+// 0 means "nothing"). Append assigns them under the log's mutex and invokes
+// the caller's deliver callback under that same mutex, so the order in
+// which batches reach the log IS sequence order — the property snapshot
+// recovery relies on: each shard applies its edges in ascending sequence,
+// so a per-shard watermark (shard.Summary.ShardSeq) cleanly splits "in the
+// snapshot" from "replay me".
+//
+// # Durability
+//
+// Append buffers the record; it becomes durable at the next group sync,
+// which the syncer goroutine performs as soon as the log is dirty (or on
+// Config.SyncInterval's cadence). Callers wait for their record with
+// WaitSynced — many concurrent appenders share one fsync, the classic group
+// commit. A write or sync failure is sticky: every later Append, WaitSynced
+// and Sync reports it, so a log on a failing disk degrades loudly rather
+// than silently dropping its durability guarantee.
+//
+// # Crash repair
+//
+// Open scans every segment. A torn or corrupt record at the tail of the
+// last segment — the shape an interrupted write leaves — is repaired by
+// truncating the segment after its last intact record. Corruption anywhere
+// else is a hard error: the log refuses to open rather than silently skip
+// acknowledged writes.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"higgs/internal/stream"
+	"higgs/internal/wire"
+)
+
+const (
+	walMagic   = 0x4857414c // "HWAL"
+	walVersion = 1
+
+	// frameHeadLen is the fixed-width record frame: 4-byte little-endian
+	// payload length followed by 4-byte CRC32 (IEEE) of the payload.
+	frameHeadLen = 8
+
+	// maxRecordBytes guards the scanner against a corrupt length prefix
+	// allocating unbounded memory; it also bounds one Append's batch.
+	maxRecordBytes = 1 << 26
+
+	// segmentSuffix names segment files; the stem is the %020d-formatted
+	// sequence number of the segment's first record.
+	segmentSuffix = ".wal"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Config parameterizes a log. The zero value of any field selects its
+// default.
+type Config struct {
+	// Dir is the directory holding the segments (created if missing).
+	Dir string
+	// SegmentBytes is the rotation threshold: when the active segment
+	// reaches it, the segment is synced and closed and a new one begins
+	// (default 64 MiB). Smaller segments truncate at a finer grain after a
+	// snapshot; the per-segment overhead is one small header.
+	SegmentBytes int64
+	// SyncInterval is the group-sync cadence: how long the syncer waits
+	// after waking before flushing and fsyncing, letting concurrent appends
+	// pile into one sync. 0 (the default) syncs as soon as the log is
+	// dirty; group commit still amortizes naturally, because appends queue
+	// up while the previous fsync is in flight. It bounds how long an
+	// acknowledgement waits for its fsync, so it is a separate knob from
+	// the ingest commit interval (higgsd wires -wal-sync-interval here).
+	SyncInterval time.Duration
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 64 << 20
+	}
+	return c
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Dir == "" {
+		return errors.New("wal: Dir must be set")
+	}
+	if c.SyncInterval < 0 {
+		return fmt.Errorf("wal: SyncInterval = %v, need ≥ 0", c.SyncInterval)
+	}
+	return nil
+}
+
+// segment is one live segment file, identified by its first sequence
+// number. Segments are held in ascending firstSeq order; the last is the
+// active one.
+type segment struct {
+	path     string
+	firstSeq uint64
+}
+
+// Log is a segmented write-ahead log of stream edges. It is safe for
+// concurrent use by multiple goroutines.
+type Log struct {
+	cfg Config
+
+	// mu serializes appends, rotation, truncation, and — because deliver
+	// callbacks run under it — defines the global sequence order.
+	mu       sync.Mutex
+	segs     []segment
+	f        *os.File
+	bw       *bufio.Writer
+	size     int64  // bytes in the active segment
+	gen      uint64 // bumped on rotation, so the syncer can tell its file was retired
+	nextSeq  uint64 // next sequence number to assign
+	appended uint64 // last sequence number with a written record
+	enc      bytes.Buffer
+	err      error // sticky write/sync failure
+	closed   bool
+
+	// syncMu guards the durability frontier; syncCond broadcasts whenever
+	// synced advances or the log fails/closes.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	synced   uint64
+	syncErr  error
+
+	dirty chan struct{} // kicks the syncer; capacity 1, at-least-once
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// Open opens (creating if necessary) the log in cfg.Dir, scans every
+// segment, repairs a torn tail on the last one, and positions the log to
+// append after the highest intact record. Open starts the syncer; the
+// caller owns the log and must Close it.
+func Open(cfg Config) (*Log, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		cfg:     cfg,
+		segs:    segs,
+		nextSeq: 1,
+		dirty:   make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	if len(segs) > 0 {
+		l.nextSeq = segs[0].firstSeq
+		for i, sg := range segs {
+			last := i == len(segs)-1
+			tail, next, corrupt, err := scanSegment(sg.path, l.nextSeq, nil)
+			if err != nil {
+				return nil, err
+			}
+			if corrupt != nil {
+				if !last {
+					return nil, fmt.Errorf("wal: segment %s: %w (not the last segment, refusing to repair)", sg.path, corrupt)
+				}
+				if err := repairTail(sg.path, tail); err != nil {
+					return nil, err
+				}
+			}
+			l.nextSeq = next
+		}
+		l.appended = l.nextSeq - 1
+		l.synced = l.appended // everything scanned is on disk
+		// Re-open the last segment for appending.
+		lastSeg := segs[len(segs)-1]
+		f, err := os.OpenFile(lastSeg.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f, l.bw, l.size = f, bufio.NewWriterSize(f, 1<<16), size
+	} else if err := l.newSegmentLocked(); err != nil {
+		return nil, err
+	}
+	go l.syncer()
+	return l, nil
+}
+
+// listSegments returns the directory's segments in ascending firstSeq
+// order, rejecting malformed names that end in the segment suffix.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != segmentSuffix {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil || first == 0 {
+			return nil, fmt.Errorf("wal: unrecognized segment name %q", name)
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), firstSeq: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].firstSeq == segs[i-1].firstSeq {
+			return nil, fmt.Errorf("wal: duplicate segment first-seq %d", segs[i].firstSeq)
+		}
+	}
+	return segs, nil
+}
+
+// headerBytes returns the encoded segment header.
+func headerBytes() []byte {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.U64(walMagic)
+	w.U64(walVersion)
+	if err := w.Flush(); err != nil {
+		panic(err) // writes to a bytes.Buffer cannot fail
+	}
+	return buf.Bytes()
+}
+
+// newSegmentLocked creates and switches to a fresh segment starting at
+// nextSeq. Caller holds l.mu.
+func (l *Log) newSegmentLocked() error {
+	path := filepath.Join(l.cfg.Dir, fmt.Sprintf("%020d%s", l.nextSeq, segmentSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	hdr := headerBytes()
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("wal: %w", err)
+	}
+	SyncDir(l.cfg.Dir)
+	l.segs = append(l.segs, segment{path: path, firstSeq: l.nextSeq})
+	l.f, l.bw, l.size = f, bufio.NewWriterSize(f, 1<<16), int64(len(hdr))
+	l.gen++
+	return nil
+}
+
+// repairTail truncates a torn last segment after its last intact record.
+// A tail shorter than the segment header (an interrupted segment creation)
+// is rebuilt as header-only so the reopened segment stays well-formed.
+func repairTail(path string, tail int64) error {
+	hdr := headerBytes()
+	if tail >= int64(len(hdr)) {
+		if err := os.Truncate(path, tail); err != nil {
+			return fmt.Errorf("wal: repair %s: %w", path, err)
+		}
+		return nil
+	}
+	if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		return fmt.Errorf("wal: repair %s: %w", path, err)
+	}
+	return nil
+}
+
+// rotateLocked flushes, syncs, and closes the active segment and opens the
+// next one. Everything appended so far becomes durable as a side effect.
+// Caller holds l.mu.
+func (l *Log) rotateLocked() {
+	if err := l.bw.Flush(); err != nil {
+		l.err = err
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = err
+		return
+	}
+	durable := l.appended
+	if err := l.newSegmentLocked(); err != nil {
+		l.err = err
+		return
+	}
+	l.advanceSynced(durable, nil)
+}
+
+// advanceSynced moves the durability frontier (or records a sync failure)
+// and wakes WaitSynced callers.
+func (l *Log) advanceSynced(seq uint64, err error) {
+	l.syncMu.Lock()
+	if err != nil && l.syncErr == nil {
+		l.syncErr = err
+	}
+	if err == nil && seq > l.synced {
+		l.synced = seq
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
+// Append assigns sequence numbers firstSeq..firstSeq+len(edges)-1 to the
+// batch, invokes deliver(firstSeq) — still under the log's mutex, so
+// delivery order is sequence order — and, if deliver succeeds, writes one
+// record holding the batch. A deliver error aborts the append: no record is
+// written and no sequence numbers are consumed, so a rejected batch
+// (ingest's ErrQueueFull backpressure) leaves no trace to replay. deliver
+// may be nil.
+//
+// The record is buffered; it is durable only after a sync covering the
+// returned sequence number — wait with WaitSynced before acknowledging the
+// batch to a client. A write failure is sticky and is returned (the batch
+// was delivered but will not survive a crash; callers should surface the
+// error rather than acknowledge).
+func (l *Log) Append(edges []stream.Edge, deliver func(firstSeq uint64) error) (lastSeq uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if len(edges) == 0 {
+		return l.appended, nil
+	}
+	first := l.nextSeq
+	last := first + uint64(len(edges)) - 1
+
+	// Encode — and size-check — BEFORE delivering: a rejected batch must
+	// leave no trace anywhere, and a delivered batch must consume its
+	// sequence numbers. Admitting first and rejecting after would let two
+	// batches share sequences, corrupting the watermark invariant.
+	l.enc.Reset()
+	w := wire.NewWriter(&l.enc)
+	w.U64(first)
+	w.Int(len(edges))
+	for _, e := range edges {
+		w.U64(e.S)
+		w.U64(e.D)
+		w.I64(e.W)
+		w.I64(e.T)
+	}
+	if err := w.Flush(); err != nil {
+		l.err = err
+		return 0, err
+	}
+	payload := l.enc.Bytes()
+	if len(payload) > maxRecordBytes {
+		// Not sticky: the log is intact, the batch is just too large.
+		return 0, fmt.Errorf("wal: batch encodes to %d bytes, limit %d", len(payload), maxRecordBytes)
+	}
+	if deliver != nil {
+		if err := deliver(first); err != nil {
+			return 0, err
+		}
+	}
+	var head [frameHeadLen]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.bw.Write(head[:]); err != nil {
+		l.err = err
+		return last, err
+	}
+	if _, err := l.bw.Write(payload); err != nil {
+		l.err = err
+		return last, err
+	}
+	l.size += int64(frameHeadLen + len(payload))
+	l.nextSeq = last + 1
+	l.appended = last
+	if l.size >= l.cfg.SegmentBytes {
+		l.rotateLocked()
+		if l.err != nil {
+			return last, l.err
+		}
+	}
+	l.kick()
+	return last, nil
+}
+
+// kick wakes the syncer (at-least-once; a dropped send means one is already
+// pending).
+func (l *Log) kick() {
+	select {
+	case l.dirty <- struct{}{}:
+	default:
+	}
+}
+
+// syncer is the group-commit loop: wake on dirt, optionally accumulate for
+// SyncInterval, then flush + fsync once for everything appended so far.
+func (l *Log) syncer() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.dirty:
+		case <-l.stop:
+			l.syncNow()
+			return
+		}
+		if iv := l.cfg.SyncInterval; iv > 0 {
+			t := time.NewTimer(iv)
+			select {
+			case <-t.C:
+			case <-l.stop:
+				t.Stop()
+			}
+		}
+		l.syncNow()
+	}
+}
+
+// syncNow makes everything appended so far durable: flush the buffer under
+// the mutex, fsync outside it (so appends keep flowing into the buffer),
+// then advance the durability frontier. A rotation racing the fsync may
+// close the captured file under us; that is benign — rotation itself synced
+// the file's full contents — so a sync error is fatal only if the file is
+// still the active one.
+func (l *Log) syncNow() {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		l.advanceSynced(0, err)
+		return
+	}
+	target := l.appended
+	gen := l.gen
+	f := l.f
+	if err := l.bw.Flush(); err != nil {
+		l.err = err
+		l.mu.Unlock()
+		l.advanceSynced(0, err)
+		return
+	}
+	l.mu.Unlock()
+	if target == 0 || f == nil {
+		return
+	}
+	if err := f.Sync(); err != nil {
+		l.mu.Lock()
+		stale := gen != l.gen
+		if !stale && l.err == nil {
+			l.err = err
+		}
+		l.mu.Unlock()
+		if !stale {
+			l.advanceSynced(0, err)
+			return
+		}
+		// Rotated away mid-sync: the rotation's own sync covered target.
+	}
+	l.advanceSynced(target, nil)
+}
+
+// WaitSynced blocks until every record up to and including seq is durable
+// (fsync'd), returning the log's sticky error if syncing failed before
+// reaching seq. A record that did become durable reports success even if
+// the log failed or closed afterwards — its durability is a fact, and a
+// spurious error would make callers retry (and double-ingest) an edge the
+// next recovery will replay. seq 0 returns immediately.
+func (l *Log) WaitSynced(seq uint64) error {
+	if seq == 0 {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	for l.synced < seq && l.syncErr == nil {
+		l.syncCond.Wait()
+	}
+	if l.synced >= seq {
+		return nil
+	}
+	return l.syncErr
+}
+
+// Sync forces a group sync of everything appended so far and waits for it.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	target := l.appended
+	l.mu.Unlock()
+	l.kick()
+	return l.WaitSynced(target)
+}
+
+// LastSeq returns the sequence number of the last appended record's final
+// edge (0 if nothing was ever appended).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// SyncedSeq returns the durability frontier: the highest sequence number
+// known to be on disk.
+func (l *Log) SyncedSeq() uint64 {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.synced
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// TruncateThrough removes whole segments whose every record has sequence
+// number ≤ seq — the disposal rule after a snapshot covering seq lands
+// durably. The active segment is never removed, so the log always accepts
+// appends. It returns the number of segments removed.
+func (l *Log) TruncateThrough(seq uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	// Segment i's records all precede segment i+1's first, so segment i is
+	// wholly covered iff segs[i+1].firstSeq ≤ seq+1.
+	for len(l.segs) >= 2 && l.segs[1].firstSeq <= seq+1 {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		SyncDir(l.cfg.Dir)
+	}
+	return removed, nil
+}
+
+// Replay streams every record to fn in sequence order: fn receives the
+// record's first sequence number and its edges (valid only for the call).
+// Replay reads the segment files directly, so it must not run concurrently
+// with Append; recovery calls it after Open and before handing the log to
+// an ingest pipeline. A fn error aborts the replay and is returned.
+func (l *Log) Replay(fn func(firstSeq uint64, edges []stream.Edge) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.bw.Flush(); err != nil { // make buffered appends visible to the scan
+		l.err = err
+		l.mu.Unlock()
+		return err
+	}
+	segs := make([]segment, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+	for _, sg := range segs {
+		expect := sg.firstSeq
+		_, _, corrupt, err := scanSegment(sg.path, expect, fn)
+		if err != nil {
+			return err
+		}
+		if corrupt != nil {
+			// Open repaired the tail, so post-repair corruption is real.
+			return fmt.Errorf("wal: segment %s: %w", sg.path, corrupt)
+		}
+	}
+	return nil
+}
+
+// Close stops the syncer (performing a final group sync) and closes the
+// active segment. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.err
+	if l.f != nil {
+		if cerr := l.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	l.advanceSynced(0, ErrClosed) // wake any remaining waiters
+	return err
+}
+
+// scanSegment iterates a segment's records, validating framing, CRC, and
+// sequence contiguity (the first record must start at expect). For each
+// intact record it calls fn (when non-nil). It returns the byte offset
+// after the last intact record, the next expected sequence number, and —
+// separated from hard I/O errors — the malformation that stopped the scan
+// (nil on a clean EOF). Callers decide whether a malformation is a
+// repairable torn tail (last segment) or fatal corruption.
+func scanSegment(path string, expect uint64, fn func(uint64, []stream.Edge) error) (tail int64, next uint64, corrupt, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, expect, nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := headerBytes()
+	got := make([]byte, len(hdr))
+	if _, err := io.ReadFull(br, got); err != nil {
+		// Shorter than a header: an interrupted segment creation.
+		return 0, expect, fmt.Errorf("truncated segment header"), nil
+	}
+	if !bytes.Equal(got, hdr) {
+		return 0, expect, nil, fmt.Errorf("wal: segment %s: bad header", path)
+	}
+	tail = int64(len(hdr))
+	next = expect
+	var head [frameHeadLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			if err == io.EOF {
+				return tail, next, nil, nil
+			}
+			return tail, next, fmt.Errorf("torn record frame"), nil
+		}
+		n := binary.LittleEndian.Uint32(head[0:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if n == 0 || n > maxRecordBytes {
+			return tail, next, fmt.Errorf("record length %d out of range", n), nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return tail, next, fmt.Errorf("torn record payload"), nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return tail, next, fmt.Errorf("record checksum mismatch"), nil
+		}
+		first, edges, derr := decodeRecord(payload)
+		if derr != nil {
+			return tail, next, derr, nil
+		}
+		if first != next {
+			return tail, next, nil, fmt.Errorf("wal: segment %s: record starts at seq %d, want %d", path, first, next)
+		}
+		if fn != nil {
+			if err := fn(first, edges); err != nil {
+				return tail, next, nil, err
+			}
+		}
+		next = first + uint64(len(edges))
+		tail += int64(frameHeadLen) + int64(len(payload))
+	}
+}
+
+// decodeRecord parses one record payload.
+func decodeRecord(payload []byte) (first uint64, edges []stream.Edge, err error) {
+	r := wire.NewReader(bytes.NewReader(payload))
+	first = r.U64()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("record header: %w", err)
+	}
+	if first == 0 || n <= 0 || n > maxRecordBytes/4 {
+		return 0, nil, fmt.Errorf("record header out of range (first=%d count=%d)", first, n)
+	}
+	edges = make([]stream.Edge, n)
+	for i := range edges {
+		edges[i] = stream.Edge{S: r.U64(), D: r.U64(), W: r.I64(), T: r.I64()}
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("record edges: %w", err)
+	}
+	return first, edges, nil
+}
+
+// SyncDir best-effort fsyncs a directory so file creations, removals, and
+// renames inside it are themselves durable; platforms that reject
+// directory fsync are tolerated. The snapshot writer (ingest.WriteSnapshot)
+// shares it for its rename step.
+func SyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

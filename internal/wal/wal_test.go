@@ -1,0 +1,470 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"higgs/internal/stream"
+)
+
+// edge builds a deterministic test edge for index i.
+func edge(i int) stream.Edge {
+	return stream.Edge{S: uint64(i % 17), D: uint64(i % 13), W: int64(i%5 + 1), T: int64(i)}
+}
+
+func edges(from, n int) []stream.Edge {
+	out := make([]stream.Edge, n)
+	for i := range out {
+		out[i] = edge(from + i)
+	}
+	return out
+}
+
+func openT(t *testing.T, cfg Config) *Log {
+	t.Helper()
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// collect replays the log into a flat edge slice, asserting sequence
+// contiguity starting at wantFirst.
+func collect(t *testing.T, l *Log, wantFirst uint64) []stream.Edge {
+	t.Helper()
+	var out []stream.Edge
+	next := wantFirst
+	err := l.Replay(func(first uint64, es []stream.Edge) error {
+		if first != next {
+			t.Fatalf("record first seq = %d, want %d", first, next)
+		}
+		out = append(out, es...)
+		next = first + uint64(len(es))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	var want []stream.Edge
+	for i := 0; i < 10; i++ {
+		batch := edges(i*7, 7)
+		want = append(want, batch...)
+		last, err := l.Append(batch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantLast := uint64((i + 1) * 7); last != wantLast {
+			t.Fatalf("append %d: last seq = %d, want %d", i, last, wantLast)
+		}
+	}
+	if err := l.WaitSynced(l.LastSeq()); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, 1)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d edges, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the log resumes after the last record.
+	l2 := openT(t, Config{Dir: dir})
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 70 {
+		t.Fatalf("reopened LastSeq = %d, want 70", got)
+	}
+	if got := collect(t, l2, 1); len(got) != 70 {
+		t.Fatalf("reopened replay length = %d, want 70", len(got))
+	}
+	if last, err := l2.Append(edges(70, 3), nil); err != nil || last != 73 {
+		t.Fatalf("append after reopen: last = %d, err = %v; want 73, nil", last, err)
+	}
+}
+
+func TestDeliverOrderIsSeqOrderAndGroupSync(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir(), SyncInterval: 200 * time.Microsecond})
+	defer l.Close()
+	const writers, perWriter = 8, 50
+	var mu sync.Mutex
+	var delivered []uint64
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				last, err := l.Append(edges(w*perWriter+i, 2), func(first uint64) error {
+					mu.Lock()
+					delivered = append(delivered, first)
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := l.WaitSynced(last); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// Deliver callbacks observed strictly increasing first-seqs: delivery
+	// order is sequence order.
+	for i := 1; i < len(delivered); i++ {
+		if delivered[i] <= delivered[i-1] {
+			t.Fatalf("deliver order broken at %d: %d after %d", i, delivered[i], delivered[i-1])
+		}
+	}
+	if want := uint64(writers * perWriter * 2); l.SyncedSeq() != want {
+		t.Fatalf("SyncedSeq = %d, want %d", l.SyncedSeq(), want)
+	}
+}
+
+func TestDeliverAbortLeavesNoRecord(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir()})
+	defer l.Close()
+	if _, err := l.Append(edges(0, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("queue full")
+	if _, err := l.Append(edges(3, 4), func(uint64) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("aborted append error = %v, want %v", err, boom)
+	}
+	if got := l.LastSeq(); got != 3 {
+		t.Fatalf("LastSeq after abort = %d, want 3", got)
+	}
+	// The next accepted batch reuses the aborted sequence numbers.
+	last, err := l.Append(edges(3, 2), func(first uint64) error {
+		if first != 4 {
+			t.Fatalf("first seq after abort = %d, want 4", first)
+		}
+		return nil
+	})
+	if err != nil || last != 5 {
+		t.Fatalf("append after abort: last = %d, err = %v", last, err)
+	}
+	if got := collect(t, l, 1); len(got) != 5 {
+		t.Fatalf("replay length = %d, want 5", len(got))
+	}
+}
+
+func TestRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir, SegmentBytes: 256})
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(edges(i*4, 4), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := l.Segments(); n < 3 {
+		t.Fatalf("only %d segments after 40 records at 256-byte rotation", n)
+	}
+	before := l.Segments()
+	removed, err := l.TruncateThrough(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 || l.Segments() != before-removed {
+		t.Fatalf("TruncateThrough removed %d of %d segments", removed, before)
+	}
+	// Everything after the covered prefix replays; nothing before does.
+	low, n := ^uint64(0), uint64(0)
+	if err := l.Replay(func(first uint64, es []stream.Edge) error {
+		if first < low {
+			low = first
+		}
+		n += uint64(len(es))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if low > 81 {
+		t.Fatalf("replay starts at seq %d; truncation through 80 must keep 81", low)
+	}
+	if end := low + n - 1; end != 160 {
+		t.Fatalf("replay ends at %d, want 160", end)
+	}
+	// Truncating beyond the end never removes the active segment.
+	if _, err := l.TruncateThrough(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() < 1 {
+		t.Fatal("active segment removed")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A reopened truncated log continues appending seamlessly.
+	l2 := openT(t, Config{Dir: dir, SegmentBytes: 256})
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 160 {
+		t.Fatalf("reopened LastSeq = %d, want 160", got)
+	}
+}
+
+func TestTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(edges(i*3, 3), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	// Simulate a torn write: garbage appended to the tail.
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := openT(t, Config{Dir: dir})
+	if got := l2.LastSeq(); got != 15 {
+		t.Fatalf("LastSeq after repair = %d, want 15", got)
+	}
+	if got := collect(t, l2, 1); len(got) != 15 {
+		t.Fatalf("replay after repair = %d edges, want 15", len(got))
+	}
+	// The repaired log keeps accepting appends at the right sequence.
+	if last, err := l2.Append(edges(15, 2), nil); err != nil || last != 17 {
+		t.Fatalf("append after repair: last = %d, err = %v", last, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openT(t, Config{Dir: dir})
+	defer l3.Close()
+	if got := collect(t, l3, 1); len(got) != 17 {
+		t.Fatalf("second reopen replay = %d edges, want 17", len(got))
+	}
+}
+
+func TestTornPayloadTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(edges(i*2, 2), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	st, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record: the last record loses its final bytes.
+	if err := os.Truncate(segs[0], st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, Config{Dir: dir})
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 6 {
+		t.Fatalf("LastSeq after torn payload = %d, want 6 (last intact record)", got)
+	}
+	if got := collect(t, l2, 1); len(got) != 6 {
+		t.Fatalf("replay = %d edges, want 6", len(got))
+	}
+}
+
+func TestCorruptMiddleSegmentRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir, SegmentBytes: 128})
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append(edges(i*4, 4), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("need ≥ 3 segments, got %d", l.Segments())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	// Flip a byte in the FIRST segment (not the last): unrepairable.
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir, SegmentBytes: 128}); err == nil {
+		t.Fatal("Open accepted a corrupt non-last segment")
+	}
+}
+
+func TestEmptyAppendAndZeroWait(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir()})
+	defer l.Close()
+	last, err := l.Append(nil, nil)
+	if err != nil || last != 0 {
+		t.Fatalf("empty append: last = %d, err = %v", last, err)
+	}
+	if err := l.WaitSynced(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedLogRejectsOperations(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir()})
+	if _, err := l.Append(edges(0, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(edges(1, 1), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed log: %v", err)
+	}
+	if _, err := l.TruncateThrough(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TruncateThrough on closed log: %v", err)
+	}
+	if err := l.Replay(func(uint64, []stream.Edge) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Replay on closed log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal("second Close not idempotent")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("empty Dir accepted")
+	}
+	if err := (Config{Dir: "x", SyncInterval: -1}).Validate(); err == nil {
+		t.Fatal("negative SyncInterval accepted")
+	}
+}
+
+func TestManySegmentsSurviveReopenCycles(t *testing.T) {
+	dir := t.TempDir()
+	total := 0
+	for cycle := 0; cycle < 4; cycle++ {
+		l := openT(t, Config{Dir: dir, SegmentBytes: 200})
+		for i := 0; i < 10; i++ {
+			if _, err := l.Append(edges(total, 3), nil); err != nil {
+				t.Fatal(err)
+			}
+			total += 3
+		}
+		if got := collect(t, l, 1); len(got) != total {
+			t.Fatalf("cycle %d: replay = %d edges, want %d", cycle, len(got), total)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := openT(t, Config{Dir: dir, SegmentBytes: 200})
+	defer l.Close()
+	if got := l.LastSeq(); got != uint64(total) {
+		t.Fatalf("final LastSeq = %d, want %d", got, total)
+	}
+}
+
+func TestSegmentNamesAreOrdered(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir, SegmentBytes: 128})
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(edges(i*4, 4), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer l.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i-1] >= segs[i] {
+			t.Fatalf("segment names not lexically ordered: %s ≥ %s", segs[i-1], segs[i])
+		}
+	}
+	if len(segs) != l.Segments() {
+		t.Fatalf("on-disk segments = %d, log reports %d", len(segs), l.Segments())
+	}
+}
+
+func TestReplayErrorAborts(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir()})
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(edges(i, 1), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := fmt.Errorf("stop here")
+	calls := 0
+	err := l.Replay(func(uint64, []stream.Edge) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("replay abort: err = %v after %d calls", err, calls)
+	}
+}
+
+func TestWaitSyncedAfterCloseReportsDurableRecords(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir()})
+	last, err := l.Append(edges(0, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The final group sync made the record durable; a late waiter (a
+	// Submit goroutine racing shutdown) must see success, not ErrClosed —
+	// the record WILL be replayed on restart, and an error would provoke
+	// a client retry and a double ingest.
+	if err := l.WaitSynced(last); err != nil {
+		t.Fatalf("WaitSynced on a durable record after Close = %v, want nil", err)
+	}
+	// A sequence that never became durable still fails.
+	if err := l.WaitSynced(last + 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitSynced past the durable frontier after Close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,135 @@
+package higgs_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"higgs"
+)
+
+// TestWALFacadeCrashRecovery drives the whole durability surface through
+// the public API: a WAL-backed pipeline accepts edges, the process
+// "crashes" (no flush, the summary is discarded), and OpenWAL + Recover
+// rebuilds a summary answering identically.
+func TestWALFacadeCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := higgs.DefaultShardedConfig()
+	cfg.Shards = 2
+
+	w, err := higgs.OpenWAL(higgs.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := higgs.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icfg := higgs.DefaultIngestConfig()
+	icfg.Mode = higgs.IngestAsync
+	icfg.WAL = w
+	p, err := higgs.NewIngest(crashed, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := []higgs.Edge{
+		{S: 1, D: 2, W: 3, T: 10}, {S: 2, D: 3, W: 5, T: 20}, {S: 1, D: 2, W: 4, T: 30},
+	}
+	if _, err := p.Submit(edges); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: reclaim the goroutines and file handle, discard the summary.
+	// Every accepted batch was fsync'd before Submit returned.
+	p.Close()
+	crashed.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := higgs.OpenWAL(higgs.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recovered, err := higgs.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	replayed, err := higgs.Recover(recovered, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != int64(len(edges)) {
+		t.Fatalf("replayed %d edges, want %d", replayed, len(edges))
+	}
+	if got := recovered.EdgeWeight(1, 2, 0, 100); got != 7 {
+		t.Fatalf("recovered edge 1→2 weight = %d, want 7", got)
+	}
+	if got := recovered.EdgeWeight(2, 3, 0, 100); got != 5 {
+		t.Fatalf("recovered edge 2→3 weight = %d, want 5", got)
+	}
+}
+
+// TestWALFacadeSnapshotter exercises the public snapshot/truncate loop:
+// Snap writes an atomic snapshot that LoadSharded restores, and recovery
+// onto it replays only the tail.
+func TestWALFacadeSnapshotter(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "snapshot.higgs")
+	cfg := higgs.DefaultShardedConfig()
+	cfg.Shards = 2
+
+	w, err := higgs.OpenWAL(higgs.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s, err := higgs.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	icfg := higgs.DefaultIngestConfig()
+	icfg.WAL = w
+	p, err := higgs.NewIngest(s, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := p.Submit([]higgs.Edge{{S: 1, D: 2, W: 3, T: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	snapper := higgs.NewSnapshotter(s, p, w, snapPath, 0, nil)
+	if err := snapper.Snap(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit([]higgs.Edge{{S: 2, D: 3, W: 5, T: 20}}); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := higgs.LoadSharded(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if got := loaded.Items(); got != 1 {
+		t.Fatalf("snapshot items = %d, want 1 (taken before the second submit)", got)
+	}
+	replayed, err := higgs.Recover(loaded, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 1 {
+		t.Fatalf("replayed %d edges onto the snapshot, want exactly the 1-edge tail", replayed)
+	}
+	if got := loaded.EdgeWeight(2, 3, 0, 100); got != 5 {
+		t.Fatalf("recovered tail edge weight = %d, want 5", got)
+	}
+}
