@@ -17,6 +17,7 @@
 //	POST /v1/insert    [{"s":1,"d":2,"w":1,"t":100}, ...]   (synchronous)
 //	POST /v1/ingest    [{"s":1,"d":2,"w":1,"t":100}, ...]   (202/429, group commit)
 //	POST /v1/flush     (barrier: 202-accepted edges become visible)
+//	POST /v1/expire    {"cutoff":100}   (sequenced, WAL-logged retention)
 //	POST /v1/delete    {"s":1,"d":2,"w":1,"t":100}
 //	GET  /v1/edge?s=1&d=2&ts=0&te=200
 //	GET  /v1/vertex?v=1&dir=out&ts=0&te=200
@@ -42,6 +43,16 @@
 // /v1/snapshot answers 409.
 //
 //	higgsd -wal-dir /var/lib/higgs -snapshot-interval 30s
+//
+// Retention (DESIGN.md §13): -retention-window runs a background loop
+// expiring everything older than now−window every -retention-interval
+// (default window/10). Expires go through the ingest pipeline, so they
+// are sequenced against in-flight batches and — with -wal-dir — recorded
+// in the log and fsync'd: crash recovery replays them at exactly their
+// point in the stream, and expired edges stay expired. /healthz reports
+// the loop's counters in its "retention" field.
+//
+//	higgsd -wal-dir /var/lib/higgs -retention-window 24h -retention-interval 1m
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains the
 // ingest pipeline (every 202-accepted batch is applied), writes a final
@@ -85,6 +96,8 @@ func main() {
 		walDir  = flag.String("wal-dir", "", "durable state directory: write-ahead log segments + snapshot.higgs (empty = no crash durability)")
 		walSync = flag.Duration("wal-sync-interval", 0, "WAL group-fsync accumulation window — bounds how long a 202 waits for its fsync (0 = sync as soon as dirty)")
 		snapIvl = flag.Duration("snapshot-interval", 0, "background snapshot cadence; requires -wal-dir (0 = snapshot only on shutdown)")
+		retWin  = flag.Duration("retention-window", 0, "sliding retention window: periodically expire edges older than now minus this (0 = keep everything)")
+		retIvl  = flag.Duration("retention-interval", 0, "retention loop cadence; requires -retention-window (0 = window/10, at least 1s)")
 	)
 	flag.Parse()
 
@@ -106,6 +119,12 @@ func main() {
 		log.Fatal("higgsd: -snapshot-interval requires -wal-dir")
 	case *walDir != "" && *load != "":
 		log.Fatal("higgsd: -load conflicts with -wal-dir (the WAL directory owns its snapshot; remove -load)")
+	case *retWin < 0:
+		log.Fatalf("higgsd: -retention-window %v, need ≥ 0", *retWin)
+	case *retIvl < 0:
+		log.Fatalf("higgsd: -retention-interval %v, need ≥ 0", *retIvl)
+	case *retIvl > 0 && *retWin == 0:
+		log.Fatal("higgsd: -retention-interval requires -retention-window")
 	}
 	icfg := ingest.DefaultConfig()
 	icfg.Mode = imode
@@ -167,6 +186,34 @@ func main() {
 			return st
 		})
 	}
+	var retainer *ingest.Retainer
+	if *retWin > 0 {
+		// srv.Pipeline (not its value now): a snapshot upload swaps the
+		// serving pipeline, and retention must follow the live one.
+		retainer, err = ingest.NewRetainer(srv.Pipeline, ingest.RetentionConfig{
+			Window:   *retWin,
+			Interval: *retIvl,
+			OnError:  func(err error) { log.Printf("higgsd: retention: %v", err) },
+		})
+		if err != nil {
+			log.Fatalf("higgsd: %v", err)
+		}
+		retainer.Start()
+		srv.SetRetention(func() server.RetentionStatus {
+			st := server.RetentionStatus{
+				Enabled:         true,
+				WindowSeconds:   int64(retainer.Window() / time.Second),
+				IntervalSeconds: int64(retainer.Interval() / time.Second),
+				Runs:            retainer.Runs(),
+				Dropped:         retainer.Dropped(),
+				LastCutoff:      retainer.LastCutoff(),
+			}
+			if at := retainer.LastTime(); !at.IsZero() {
+				st.LastUnix = at.Unix()
+			}
+			return st
+		})
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	go func() {
@@ -188,6 +235,9 @@ func main() {
 	}
 	// Drain accepted-but-uncommitted ingest batches before snapshotting:
 	// a 202 means the edge survives an orderly shutdown.
+	if retainer != nil {
+		retainer.Close() // no expires may race the drain or the final snapshot
+	}
 	if snapper != nil {
 		snapper.Close() // stop the background loop before the final snapshot
 	}

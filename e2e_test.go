@@ -3,6 +3,7 @@ package higgs_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -149,6 +150,159 @@ func TestE2EDaemon(t *testing.T) {
 	waitHTTP(t, addr2)
 	if got := getWeight(t, "http://"+addr2+"/v1/edge?s=1&d=2&ts=0&te=100"); got != 7 {
 		t.Fatalf("restored edge weight = %d, want 7", got)
+	}
+}
+
+// TestE2ECrashRecoveryExpireWALDir is the durable-retention e2e gate:
+// ingest, expire over HTTP, ingest more, SIGKILL, restart on the same
+// -wal-dir — and the recovered summary must be byte-for-byte what a clean
+// in-process run of the same operations produces. Before expiry was a
+// WAL-logged operation, recovery replayed the raw edge log and resurrected
+// every expired edge, so this test is red on a build without expire
+// records.
+func TestE2ECrashRecoveryExpireWALDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bins := buildTools(t, "higgsd")
+	walDir := filepath.Join(t.TempDir(), "wal")
+	addr := freeAddr(t)
+
+	run := exec.Command(bins["higgsd"], "-addr", addr, "-shards", "2",
+		"-ingest-mode", "async", "-commit-interval", "1h", "-wal-dir", walDir)
+	var logs bytes.Buffer
+	run.Stderr = &logs
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer run.Process.Kill()
+	waitHTTP(t, addr)
+	base := "http://" + addr
+
+	// Two deterministic batches around a cutoff that drops whole subtrees.
+	mkBatch := func(from, to int) ([]higgs.Edge, string) {
+		var edges []higgs.Edge
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i := from; i < to; i++ {
+			if i > from {
+				sb.WriteByte(',')
+			}
+			e := higgs.Edge{S: uint64(i % 50), D: uint64(i%50 + 1), W: 1, T: int64(i)}
+			edges = append(edges, e)
+			fmt.Fprintf(&sb, `{"s":%d,"d":%d,"w":%d,"t":%d}`, e.S, e.D, e.W, e.T)
+		}
+		sb.WriteByte(']')
+		return edges, sb.String()
+	}
+	batch1, body1 := mkBatch(0, 3000)
+	batch2, body2 := mkBatch(3000, 3600)
+	const cutoff = 1500
+
+	ingest := func(body string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status = %d, want 202 or 200", resp.StatusCode)
+		}
+	}
+	ingest(body1)
+	resp, err := http.Post(base+"/v1/expire", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"cutoff":%d}`, cutoff)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("expire status = %d: %s", resp.StatusCode, b)
+	}
+	var exp map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&exp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if exp["dropped"] <= 0 {
+		t.Fatalf("expire dropped %d leaves, want > 0 (the test would be vacuous)", exp["dropped"])
+	}
+	ingest(body2)
+
+	// Hard crash: SIGKILL — queues, summary, everything in memory is gone.
+	if err := run.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	run.Wait()
+
+	// Clean in-process reference: identical batches and expire, in order,
+	// through a sync WAL'd pipeline (so sequence numbers and watermarks
+	// match the daemon's).
+	cfg := higgs.DefaultShardedConfig()
+	cfg.Shards = 2
+	ref, err := higgs.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	refLog, err := higgs.OpenWAL(higgs.WALConfig{Dir: filepath.Join(t.TempDir(), "refwal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := higgs.NewIngest(ref, higgs.IngestConfig{Mode: higgs.IngestSync, WAL: refLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Submit(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if dropped, err := pipe.Expire(cutoff); err != nil || dropped <= 0 {
+		t.Fatalf("reference expire: dropped = %d, err = %v", dropped, err)
+	}
+	if _, err := pipe.Submit(batch2); err != nil {
+		t.Fatal(err)
+	}
+	pipe.Close()
+	if err := refLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := ref.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same WAL dir: recovery must reproduce the post-expire
+	// state exactly — not resurrect the expired edges.
+	addr2 := freeAddr(t)
+	run2 := exec.Command(bins["higgsd"], "-addr", addr2, "-shards", "2", "-wal-dir", walDir)
+	var logs2 bytes.Buffer
+	run2.Stderr = &logs2
+	if err := run2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		run2.Process.Signal(os.Interrupt)
+		run2.Wait()
+	}()
+	waitHTTP(t, addr2)
+	sresp, err := http.Get("http://" + addr2 + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("recovered snapshot (%d bytes) diverges from clean post-expire reference (%d bytes): expired edges were resurrected or tail edges lost\n%s",
+			len(got), want.Len(), logs2.String())
+	}
+	// The post-crash tail survived too.
+	if got := getWeight(t, "http://"+addr2+"/v1/edge?s=1&d=2&ts=3000&te=3600"); got <= 0 {
+		t.Fatalf("post-expire tail edge lost: weight = %d, want > 0", got)
 	}
 }
 

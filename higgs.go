@@ -98,6 +98,14 @@ func Load(r io.Reader) (*Summary, error) { return core.Read(r) }
 // drops fully expired subtrees shard by shard under the shards' write
 // locks. See package shard for full method documentation and DESIGN.md §8
 // for the partitioning model.
+//
+// Durable-retention invariant: once a Sharded summary is fed by a
+// WAL-backed Ingest pipeline (IngestConfig.WAL), the pipeline's Expire is
+// the ONLY expire entry point — it sequences the expire against in-flight
+// batches and records it in the log, so crash recovery reproduces it.
+// Calling Sharded.Expire directly on such a summary panics: the unlogged
+// expire would be silently undone on the next recovery, resurrecting
+// every expired edge (DESIGN.md §13).
 type Sharded = shard.Summary
 
 // ShardedConfig parameterizes a sharded summary: the shard count and the
@@ -121,9 +129,10 @@ func LoadSharded(r io.Reader) (*Sharded, error) { return shard.Read(r) }
 // Ingest is an asynchronous group-commit pipeline in front of a Sharded
 // summary: Submit routes edges into per-shard bounded queues, committer
 // goroutines apply whatever accumulated under one lock acquisition per
-// shard, Flush is the visibility barrier, and Close drains everything
-// accepted. See package ingest for full method documentation and
-// DESIGN.md §9 for the model.
+// shard, Flush is the visibility barrier, Expire is the sequenced (and,
+// with a WAL, logged and crash-safe) sliding-window retention entry
+// point, and Close drains everything accepted. See package ingest for
+// full method documentation and DESIGN.md §9 and §13 for the model.
 type Ingest = ingest.Pipeline
 
 // IngestConfig parameterizes an ingest pipeline: admission mode, per-shard
@@ -194,6 +203,27 @@ func NewSnapshotter(s *Sharded, p *Ingest, w *WAL, path string, interval time.Du
 // file + fsync + rename), so a crash mid-write leaves the previous
 // snapshot intact.
 func WriteSnapshot(s *Sharded, path string) error { return ingest.WriteSnapshot(s, path) }
+
+// Retainer runs sliding-window retention over an Ingest pipeline: every
+// RetentionConfig.Interval it expires everything older than now minus
+// RetentionConfig.Window through Ingest.Expire, so each expire is
+// sequenced against in-flight batches and — on a WAL-backed pipeline —
+// logged and crash-safe. See ingest.Retainer and DESIGN.md §13.
+type Retainer = ingest.Retainer
+
+// RetentionConfig parameterizes a Retainer: the sliding window, the loop
+// cadence (0 = Window/10, at least one second), an optional clock
+// override, and an optional background-error observer.
+type RetentionConfig = ingest.RetentionConfig
+
+// NewRetainer returns a retainer enforcing cfg over the pipeline once
+// Start is called. Close the retainer before closing the pipeline. A
+// caller that swaps pipelines at runtime should use ingest.NewRetainer
+// directly with a pipeline accessor; this convenience binding is for the
+// common case of one long-lived pipeline.
+func NewRetainer(p *Ingest, cfg RetentionConfig) (*Retainer, error) {
+	return ingest.NewRetainer(func() *ingest.Pipeline { return p }, cfg)
+}
 
 // Query describes one temporal range query of any kind — edge, vertex
 // (out / in), path, or subgraph — over a closed [Ts, Te] window; build

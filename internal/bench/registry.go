@@ -31,6 +31,7 @@ var registry = []Experiment{
 	{"asyncingest", "Extra: async group-commit ingest vs sync (internal/ingest)", AsyncIngest},
 	{"batchquery", "Extra: batched vs per-call queries (internal/query)", BatchQuery},
 	{"walrecovery", "Extra: crash recovery — snapshot + WAL replay (internal/wal)", WALRecovery},
+	{"retention", "Extra: durable retention — crash recovery with interleaved expires", Retention},
 }
 
 // Experiments lists all registered experiments in presentation order.

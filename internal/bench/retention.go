@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"higgs/internal/ingest"
+	"higgs/internal/metrics"
+	"higgs/internal/shard"
+	"higgs/internal/stream"
+	"higgs/internal/wal"
+)
+
+// retExpire is one interleaved retention point: after the first `at` edges
+// have been submitted, everything wholly before cutoff is expired.
+type retExpire struct {
+	at     int
+	cutoff int64
+}
+
+// retExpirePoints derives deterministic expire points from the dataset —
+// three sliding-window advances spread over the stream, each cutting half
+// a window behind the ingest frontier so whole subtrees actually drop.
+func retExpirePoints(st stream.Stream) []retExpire {
+	return []retExpire{
+		{at: len(st) / 4, cutoff: st[len(st)/8].T},
+		{at: len(st) / 2, cutoff: st[len(st)/4].T},
+		{at: 3 * len(st) / 4, cutoff: st[len(st)/2].T},
+	}
+}
+
+// Retention is the durable-retention gate (DESIGN.md §13), run in CI: at
+// 1/2/4/8 shards it ingests the dataset through a WAL-backed pipeline with
+// sliding-window expires interleaved at deterministic stream offsets,
+// simulates a crash mid-stream, and recovers. The run hard-fails unless
+// the recovered summary's snapshot is byte-for-byte identical to a clean
+// synchronous run of the same stream with the same expires — the exact
+// failure this PR exists to prevent is recovery resurrecting expired
+// edges. Both recovery paths are exercised: pure WAL replay (every expire
+// record re-run at its sequence position) and a mid-stream snapshot taken
+// between expires plus tail replay (the snapshotted expire must not
+// double-apply while the tail's expire still runs). The clean reference
+// runs through a sync-mode WAL'd pipeline, so both sides assign identical
+// sequence numbers and the comparison covers the per-shard watermarks. The
+// gate also refuses to pass vacuously: the reference run must reclaim
+// leaves, or the expire points are toothless.
+func Retention(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Extra: durable retention — crash recovery with interleaved expires (internal/wal) ==")
+	t := metrics.NewTable("dataset", "shards", "edges", "expires", "dropped", "replay-only", "snap+tail")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		exps := retExpirePoints(ds.Stream)
+		for _, n := range shardCounts {
+			ref, dropped, err := retCleanRun(ds, n, uint64(o.Seed), exps)
+			if err != nil {
+				return err
+			}
+			if dropped <= 0 {
+				return fmt.Errorf("bench: retention %d: clean run dropped %d leaves; expire points never bite", n, dropped)
+			}
+			if err := retCrashRecover(ds, n, uint64(o.Seed), ref, exps, false); err != nil {
+				return err
+			}
+			if err := retCrashRecover(ds, n, uint64(o.Seed), ref, exps, true); err != nil {
+				return err
+			}
+			t.AddRow(ds.Name, fmt.Sprint(n), fmt.Sprint(len(ds.Stream)),
+				fmt.Sprint(len(exps)), fmt.Sprint(dropped), "byte-equal", "byte-equal")
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// retSubmit replays the dataset through the pipeline as fixed-size batches
+// from a single producer, firing each expire at its deterministic offset —
+// so the reference and crash runs assign every edge and every expire the
+// same WAL sequence number. When snapAt ≥ 0 and snapper is non-nil, one
+// background snapshot is taken as the submission crosses that offset. It
+// returns the total leaves dropped.
+func retSubmit(p *ingest.Pipeline, st stream.Stream, exps []retExpire, snapAt int, snapper *ingest.Snapshotter) (dropped int64, err error) {
+	next := 0
+	snapped := snapAt < 0
+	for lo := 0; lo < len(st); lo += walBatch {
+		for next < len(exps) && exps[next].at <= lo {
+			d, err := p.Expire(exps[next].cutoff)
+			if err != nil {
+				return dropped, fmt.Errorf("expire at %d: %w", exps[next].at, err)
+			}
+			dropped += d
+			next++
+		}
+		if !snapped && lo >= snapAt {
+			if err := snapper.Snap(); err != nil {
+				return dropped, fmt.Errorf("mid-stream snapshot: %w", err)
+			}
+			snapped = true
+		}
+		hi := lo + walBatch
+		if hi > len(st) {
+			hi = len(st)
+		}
+		if err := submitRetry(p, st[lo:hi]); err != nil {
+			return dropped, err
+		}
+	}
+	for next < len(exps) {
+		d, err := p.Expire(exps[next].cutoff)
+		if err != nil {
+			return dropped, fmt.Errorf("expire at %d: %w", exps[next].at, err)
+		}
+		dropped += d
+		next++
+	}
+	return dropped, nil
+}
+
+// retCleanRun produces the byte-identity reference: the stream ingested
+// synchronously through a WAL-backed pipeline with the expires applied at
+// their offsets, closed in order.
+func retCleanRun(ds *Dataset, n int, seed uint64, exps []retExpire) ([]byte, int64, error) {
+	fail := func(err error) ([]byte, int64, error) {
+		return nil, 0, fmt.Errorf("bench: retention %d: clean reference: %w", n, err)
+	}
+	dir, err := os.MkdirTemp("", "higgs-retention-*")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir)
+	log, err := wal.Open(wal.Config{Dir: dir})
+	if err != nil {
+		return fail(err)
+	}
+	defer log.Close()
+	sum, err := shard.New(walShardConfig(n, seed))
+	if err != nil {
+		return fail(err)
+	}
+	defer sum.Close()
+	p, err := ingest.New(sum, ingest.Config{Mode: ingest.ModeSync, WAL: log})
+	if err != nil {
+		return fail(err)
+	}
+	dropped, err := retSubmit(p, ds.Stream, exps, -1, nil)
+	if err != nil {
+		return fail(err)
+	}
+	p.Close()
+	snap, err := walSnapshot(sum)
+	if err != nil {
+		return fail(err)
+	}
+	return snap, dropped, nil
+}
+
+// retCrashRecover ingests the stream through an async WAL-backed pipeline
+// with the same interleaved expires, crashes it (no flush, no orderly
+// close of the served state — only the fsync'd disk survives), recovers,
+// and hard-fails unless the recovered snapshot byte-equals the reference.
+// With midSnapshot a background snapshot is taken between the second and
+// third expire — covering the first two — so recovery exercises the
+// snapshot + tail path: the covered expires must not double-apply and the
+// tail's expire must still run.
+func retCrashRecover(ds *Dataset, n int, seed uint64, ref []byte, exps []retExpire, midSnapshot bool) error {
+	variant := "replay-only"
+	if midSnapshot {
+		variant = "snap+tail"
+	}
+	fail := func(err error) error {
+		return fmt.Errorf("bench: retention %d (%s): %w", n, variant, err)
+	}
+	dir, err := os.MkdirTemp("", "higgs-retention-*")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir)
+	// Small segments so the mid-stream snapshot has whole segments to drop.
+	wcfg := wal.Config{Dir: dir, SegmentBytes: 1 << 16}
+	log, err := wal.Open(wcfg)
+	if err != nil {
+		return fail(err)
+	}
+	sum, err := shard.New(walShardConfig(n, seed))
+	if err != nil {
+		return fail(err)
+	}
+	p, err := ingest.New(sum, ingest.Config{
+		Mode: ingest.ModeAsync, QueueDepth: 1024, CommitInterval: 100 * time.Microsecond, WAL: log,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	snapPath := filepath.Join(dir, "snapshot.higgs")
+	snapAt := -1
+	var snapper *ingest.Snapshotter
+	if midSnapshot {
+		// Between exps[1].at and exps[2].at, on a walBatch boundary.
+		snapAt = (exps[1].at + exps[2].at) / 2
+		snapper = ingest.NewSnapshotter(sum, p, log, snapPath, 0, nil)
+	}
+	if _, err := retSubmit(p, ds.Stream, exps, snapAt, snapper); err != nil {
+		return fail(err)
+	}
+	// Crash: the summary and its queues are abandoned; recovery may use
+	// only the disk (every accepted batch and expire was fsync'd before its
+	// Submit/Expire returned, so the on-disk log is exactly what a hard
+	// kill would leave).
+	p.Close()
+	sum.Close()
+	if err := log.Close(); err != nil {
+		return fail(err)
+	}
+
+	log2, err := wal.Open(wcfg)
+	if err != nil {
+		return fail(err)
+	}
+	defer log2.Close()
+	recovered, err := loadSnapshotOrNew(snapPath, n, seed)
+	if err != nil {
+		return fail(err)
+	}
+	defer recovered.Close()
+	replayed, err := ingest.Recover(recovered, log2)
+	if err != nil {
+		return fail(err)
+	}
+	if midSnapshot && (replayed == 0 || replayed >= int64(len(ds.Stream))) {
+		return fail(fmt.Errorf("replayed %d edges; want a strict tail of %d", replayed, len(ds.Stream)))
+	}
+	snap, err := walSnapshot(recovered)
+	if err != nil {
+		return fail(err)
+	}
+	if !bytes.Equal(snap, ref) {
+		return fail(fmt.Errorf("recovery resurrected expired edges: recovered snapshot diverges from the clean run (%d vs %d bytes)",
+			len(snap), len(ref)))
+	}
+	return nil
+}

@@ -230,6 +230,12 @@ func New(sum *shard.Summary, cfg Config) (*Pipeline, error) {
 		wal:  cfg.WAL,
 		stop: make(chan struct{}),
 	}
+	if p.wal != nil {
+		// The log owns the durable state from here on: direct
+		// shard.Summary.Expire would be silently undone by crash recovery,
+		// so arm the guard that forces retention through Pipeline.Expire.
+		sum.MarkWALOwned()
+	}
 	if p.cfg.Mode == ModeSync {
 		return p, nil
 	}
@@ -560,6 +566,50 @@ func (p *Pipeline) Flush() {
 		}
 		q.mu.Unlock()
 	}
+}
+
+// Expire drops every subtree whose entire time range lies before cutoff
+// (sliding-window retention, DESIGN.md §13) and returns the number of
+// leaves reclaimed. The pipeline is the ONLY correct expire entry point on
+// a summary it feeds: Expire sequences the operation against in-flight
+// batches so "expired" has one well-defined meaning — every edge admitted
+// before the call is expirable, every edge admitted after is not.
+//
+// With a WAL configured the expire is durable: it is admitted under the
+// log's mutex (so it receives its own sequence number, totally ordered
+// against every edge batch), a per-shard flush barrier applies everything
+// admitted before it, the expire itself advances each shard's durability
+// watermark (shard.Summary.ExpireAt), and an expire control record is
+// appended and group-fsync'd before Expire returns — crash recovery
+// replays it at exactly its point in the stream, so expired edges stay
+// expired. Without a WAL, Expire flushes and expires in process memory,
+// the same guarantee every other accepted mutation has.
+//
+// Expire returns ErrClosed after Close has begun. A WAL write or sync
+// failure is returned after the in-memory expire applied: the summary is
+// expired for this process's lifetime, but the log is sticky-failed and
+// recovery would resurrect the expired edges — callers should surface the
+// error rather than acknowledge the expire.
+func (p *Pipeline) Expire(cutoff int64) (dropped int64, err error) {
+	if p.closed.Load() {
+		return 0, ErrClosed
+	}
+	if p.wal == nil {
+		p.Flush()
+		return p.sum.ExpireAt(cutoff, 0), nil
+	}
+	seq, err := p.wal.AppendExpire(cutoff, func(seq uint64) error {
+		// Under the log mutex no batch can be admitted, so every admitted
+		// edge has a lower sequence number; the flush barrier applies them
+		// all, and the expire lands in exact sequence position.
+		p.Flush()
+		dropped = p.sum.ExpireAt(cutoff, seq)
+		return nil
+	})
+	if err != nil {
+		return dropped, err
+	}
+	return dropped, p.wal.WaitSynced(seq)
 }
 
 // Close stops admission (further Submits return ErrClosed), drains every

@@ -17,15 +17,20 @@ import (
 // snapshot + WAL-replay recovery design (DESIGN.md §12). The summary is
 // either freshly constructed (replay-from-scratch) or loaded from the
 // latest snapshot; each shard's durability watermark (shard.ShardSeq)
-// tells Recover which of its edges the snapshot already contains, so
+// tells Recover which of its records the snapshot already contains, so
 // replay applies exactly the tail each shard is missing and never double
 // counts. Edges are applied through the same group-commit primitive the
 // committers use (InsertShardAt), one log record at a time, preserving
-// per-shard sequence order.
+// per-shard sequence order; expire control records (DESIGN.md §13) are
+// re-run at exactly their sequence position via ExpireShardAt, shard by
+// shard, so a snapshot that already reflects an expire on some shards
+// never double-applies it there while the remaining shards still catch
+// up. Skipping an expire would resurrect every edge it dropped — the bug
+// this record type exists to prevent.
 //
 // Recover must run after wal.Open and before the log is handed to a
 // pipeline (Replay must not race Append). It returns the number of edges
-// applied.
+// applied (replayed expires are not counted).
 func Recover(sum *shard.Summary, log *wal.Log) (replayed int64, err error) {
 	marks := make([]uint64, sum.NumShards())
 	for i := range marks {
@@ -33,10 +38,20 @@ func Recover(sum *shard.Summary, log *wal.Log) (replayed int64, err error) {
 	}
 	groups := make(map[int][]stream.Edge)
 	gmax := make(map[int]uint64)
-	err = log.Replay(func(first uint64, edges []stream.Edge) error {
+	err = log.Replay(func(rec wal.Record) error {
+		if rec.Type == wal.RecordExpire {
+			for i := range marks {
+				if rec.FirstSeq <= marks[i] {
+					continue // the snapshot is already post-expire here
+				}
+				sum.ExpireShardAt(i, rec.Cutoff, rec.FirstSeq)
+				marks[i] = rec.FirstSeq
+			}
+			return nil
+		}
 		clear(groups)
-		for j, e := range edges {
-			seq := first + uint64(j)
+		for j, e := range rec.Edges {
+			seq := rec.FirstSeq + uint64(j)
 			i := sum.ShardFor(e.S)
 			if seq <= marks[i] {
 				continue // the snapshot already holds this edge

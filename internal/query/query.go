@@ -124,14 +124,20 @@ func NewSubgraph(edges [][2]uint64, ts, te int64) Query {
 }
 
 // Validate reports why the query cannot be answered: a missing or
-// unknown kind, an inverted time window, or a path too short to contain
-// an edge. An empty subgraph is valid and answers zero.
+// unknown kind, an inverted time window, a path too short to contain an
+// edge, or a subgraph with no edges. An empty subgraph is rejected rather
+// than answered zero — like a one-vertex path, it asks about nothing, and
+// a silent zero reads as "that subgraph carries no weight".
 func (q Query) Validate() error {
 	switch q.Kind {
-	case KindEdge, KindVertexOut, KindVertexIn, KindSubgraph:
+	case KindEdge, KindVertexOut, KindVertexIn:
 	case KindPath:
 		if len(q.Path) < 2 {
 			return fmt.Errorf("path query needs ≥ 2 vertices, got %d", len(q.Path))
+		}
+	case KindSubgraph:
+		if len(q.Edges) == 0 {
+			return fmt.Errorf("subgraph query needs ≥ 1 edge, got 0")
 		}
 	case kindMissing:
 		return fmt.Errorf("missing query kind (want one of %s)", strings.Join(kindNames[KindEdge:], ", "))

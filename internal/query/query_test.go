@@ -152,7 +152,11 @@ func TestValidate(t *testing.T) {
 		{NewEdge(1, 2, 10, 5), "inverted time range"},
 		{NewPath([]uint64{1}, 0, 10), "≥ 2 vertices"},
 		{NewPath(nil, 0, 10), "≥ 2 vertices"},
-		{NewSubgraph(nil, 0, 10), ""}, // empty subgraph answers zero
+		{NewSubgraph([][2]uint64{{1, 2}}, 0, 10), ""},
+		// An empty subgraph asks about nothing: rejected per item, like a
+		// one-vertex path, rather than silently answering zero.
+		{NewSubgraph(nil, 0, 10), "≥ 1 edge"},
+		{NewSubgraph([][2]uint64{}, 0, 10), "≥ 1 edge"},
 		{Query{Kind: Kind(42), Ts: 0, Te: 1}, "unknown query kind"},
 	}
 	for _, c := range cases {
@@ -186,7 +190,7 @@ func TestDoAnswersEveryKind(t *testing.T) {
 			{NewPath([]uint64{1, 2, 3}, 0, 100), 14},
 			{NewPath([]uint64{1, 2, 3}, 0, 35), 7}, // 2→3@40 outside window
 			{NewSubgraph([][2]uint64{{1, 3}, {4, 1}}, 0, 100), 14},
-			{NewSubgraph(nil, 0, 100), 0},
+			{NewSubgraph([][2]uint64{{9, 9}}, 0, 100), 0},
 		}
 		for _, c := range cases {
 			r := Do(f, c.q)
@@ -291,12 +295,13 @@ func TestDoBatchEmpty(t *testing.T) {
 	if rs := DoBatch(f, nil); len(rs) != 0 {
 		t.Fatalf("DoBatch(nil) = %v", rs)
 	}
-	// A batch of only invalid / probe-less queries must not touch a shard.
+	// A batch of only invalid queries must not touch a shard; an empty
+	// subgraph errors per item instead of planning zero probes.
 	rs := DoBatch(f, []Query{NewEdge(1, 2, 9, 0), NewSubgraph(nil, 0, 9)})
 	if f.calls != 0 {
-		t.Fatalf("probe-less batch made %d ProbeShard calls", f.calls)
+		t.Fatalf("invalid-only batch made %d ProbeShard calls", f.calls)
 	}
-	if rs[0].Err == nil || rs[1].Err != nil || rs[1].Weight != 0 {
+	if rs[0].Err == nil || rs[1].Err == nil || !strings.Contains(rs[1].Err.Error(), "≥ 1 edge") {
 		t.Fatalf("unexpected results: %+v", rs)
 	}
 }

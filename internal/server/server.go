@@ -39,6 +39,12 @@
 // /v1/snapshot is rejected with 409 — the log owns the durable state, and
 // swapping in a foreign summary would desynchronize its watermarks from
 // the log's sequences.
+//
+// Retention is a write: POST /v1/expire drops everything wholly before a
+// cutoff through the pipeline's sequenced (and, with a WAL, logged and
+// fsync'd) expire path, so expired edges stay expired across a crash
+// (DESIGN.md §13). higgsd's background retention loop uses the same path
+// and reports its counters in /healthz's "retention" field.
 package server
 
 import (
@@ -82,6 +88,7 @@ type Server struct {
 	icfg       ingest.Config
 	closed     atomic.Bool
 	durability atomic.Pointer[func() DurabilityStatus]
+	retention  atomic.Pointer[func() RetentionStatus]
 }
 
 // DurabilityStatus is the WAL/snapshot state /healthz reports (DESIGN.md
@@ -110,6 +117,32 @@ type DurabilityStatus struct {
 // from the log's sequences. cmd/higgsd installs it when -wal-dir is set.
 func (s *Server) SetDurability(fn func() DurabilityStatus) {
 	s.durability.Store(&fn)
+}
+
+// RetentionStatus is the sliding-window retention state /healthz reports
+// (DESIGN.md §13). All counters cover the background loop; expires issued
+// directly over POST /v1/expire are not included.
+type RetentionStatus struct {
+	// Enabled reports whether a background retention loop is running.
+	Enabled bool `json:"enabled"`
+	// WindowSeconds is the sliding retention horizon.
+	WindowSeconds int64 `json:"window_seconds,omitempty"`
+	// IntervalSeconds is the loop cadence.
+	IntervalSeconds int64 `json:"interval_seconds,omitempty"`
+	// Runs is the number of completed retention ticks.
+	Runs int64 `json:"runs,omitempty"`
+	// Dropped is the total number of leaves reclaimed by the loop.
+	Dropped int64 `json:"dropped,omitempty"`
+	// LastCutoff is the latest tick's cutoff timestamp (Unix seconds).
+	LastCutoff int64 `json:"last_cutoff,omitempty"`
+	// LastUnix is when the latest tick completed (Unix seconds).
+	LastUnix int64 `json:"last_unix,omitempty"`
+}
+
+// SetRetention installs the probe /healthz calls for the "retention"
+// field. cmd/higgsd installs it when -retention-window is set.
+func (s *Server) SetRetention(fn func() RetentionStatus) {
+	s.retention.Store(&fn)
 }
 
 // Pipeline returns the ingest pipeline currently feeding the served
@@ -178,6 +211,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/insert", s.handleInsert)
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/flush", s.handleFlush)
+	mux.HandleFunc("/v1/expire", s.handleExpire)
 	mux.HandleFunc("/v1/delete", s.handleDelete)
 	mux.HandleFunc("/v1/edge", s.handleEdge)
 	mux.HandleFunc("/v1/vertex", s.handleVertex)
@@ -266,6 +300,42 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Load()
 	st.pipe.Flush()
 	writeJSON(w, map[string]int64{"items": st.sum.Items()})
+}
+
+// expireRequest is the POST body of /v1/expire.
+type expireRequest struct {
+	Cutoff int64 `json:"cutoff"`
+}
+
+// handleExpire drops every subtree whose entire time range lies before the
+// cutoff — sliding-window retention over the live summary (DESIGN.md §13).
+// The expire goes through the ingest pipeline so it is sequenced against
+// in-flight 202-accepted batches, and on a WAL-backed deployment it is
+// logged and fsync'd before the response: expired edges stay expired
+// across a crash. 200 reports the number of leaves reclaimed; 503 while
+// shutting down; 500 on a WAL write/sync failure (the expire applied in
+// memory but is not crash-durable).
+func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req expireRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	dropped, err := s.pipeline().Expire(req.Cutoff)
+	switch {
+	case errors.Is(err, ingest.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "expire: %v", err)
+	default:
+		writeJSON(w, map[string]int64{"dropped": dropped})
+	}
 }
 
 // decodeBatch reads a request body holding a JSON array of edges into the
@@ -543,11 +613,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if fn := s.durability.Load(); fn != nil {
 		durability = (*fn)()
 	}
+	var retention RetentionStatus
+	if fn := s.retention.Load(); fn != nil {
+		retention = (*fn)()
+	}
 	writeJSON(w, map[string]any{
 		"status":     "ok",
 		"shards":     st.sum.NumShards(),
 		"ingest":     st.pipe.Mode().String(),
 		"durability": durability,
+		"retention":  retention,
 	})
 }
 

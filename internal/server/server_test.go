@@ -882,6 +882,132 @@ func TestHealthzDurability(t *testing.T) {
 	}
 }
 
+// TestExpireEndpoint: POST /v1/expire drops everything wholly before the
+// cutoff through the pipeline's sequenced expire and reports the reclaimed
+// leaf count.
+func TestExpireEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// A stream long enough that whole subtrees close before the cutoff.
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < 4096; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"s":%d,"d":%d,"w":1,"t":%d}`, i%64, i%64+1, i)
+	}
+	sb.WriteByte(']')
+	resp := post(t, ts.URL+"/v1/insert", sb.String())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+
+	resp = post(t, ts.URL+"/v1/expire", `{"cutoff":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("expire status %d: %s", resp.StatusCode, b)
+	}
+	got := decode[map[string]int64](t, resp)
+	if got["dropped"] <= 0 {
+		t.Fatalf("expire dropped %d leaves, want > 0", got["dropped"])
+	}
+	// Idempotent at the same cutoff.
+	if again := decode[map[string]int64](t, post(t, ts.URL+"/v1/expire", `{"cutoff":5000}`)); again["dropped"] != 0 {
+		t.Fatalf("second expire dropped %d, want 0", again["dropped"])
+	}
+	// The live window keeps answering.
+	w := decode[map[string]int64](t, get(t, ts.URL+"/v1/edge?s=1&d=2&ts=4000&te=5000"))
+	if w["weight"] <= 0 {
+		t.Fatalf("live-window weight = %d after expire, want > 0", w["weight"])
+	}
+}
+
+// TestExpireBadRequests: malformed bodies 400, wrong method 405.
+func TestExpireBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{``, `garbage`, `{"cutoff":"ten"}`, `{"cutof":10}`} {
+		resp := post(t, ts.URL+"/v1/expire", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("expire body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp := get(t, ts.URL+"/v1/expire")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/expire status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestExpireWhileClosed: an expire racing shutdown answers 503, matching
+// /v1/ingest's contract.
+func TestExpireWhileClosed(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Close()
+	resp := post(t, ts.URL+"/v1/expire", `{"cutoff":10}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expire after Close: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestV2QueryEmptySubgraph: an empty subgraph ({"edges":[]}) is rejected
+// per item — it plans nothing and must not silently answer zero.
+func TestV2QueryEmptySubgraph(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed(t, ts.URL)
+	got := postBatch(t, ts.URL, `[
+		{"kind":"subgraph","edges":[[1,2]],"ts":0,"te":100},
+		{"kind":"subgraph","edges":[],"ts":0,"te":100},
+		{"kind":"subgraph","ts":0,"te":100}
+	]`)
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+	if got[0].Error != "" || got[0].Weight == nil || *got[0].Weight != 7 {
+		t.Fatalf("valid subgraph polluted: %+v", got[0])
+	}
+	for i := 1; i < 3; i++ {
+		if got[i].Weight != nil || !strings.Contains(got[i].Error, "≥ 1 edge") {
+			t.Fatalf("empty subgraph item %d: %+v, want per-item ≥ 1 edge error", i, got[i])
+		}
+	}
+	// The /v1 surface rejects it too (same planner, 400 shape).
+	resp := post(t, ts.URL+"/v1/subgraph", `{"edges":[],"ts":0,"te":100}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/v1/subgraph with no edges: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHealthzRetention: /healthz reports the retention loop's state once
+// installed.
+func TestHealthzRetention(t *testing.T) {
+	srv, ts := newTestServerShards(t, 2)
+	got := decode[map[string]any](t, get(t, ts.URL+"/healthz"))
+	r, ok := got["retention"].(map[string]any)
+	if !ok || r["enabled"] != false {
+		t.Fatalf("retention without a loop = %v", got["retention"])
+	}
+	srv.SetRetention(func() RetentionStatus {
+		return RetentionStatus{Enabled: true, WindowSeconds: 3600, IntervalSeconds: 60, Runs: 3, Dropped: 12, LastCutoff: 99, LastUnix: 1234}
+	})
+	got = decode[map[string]any](t, get(t, ts.URL+"/healthz"))
+	r, ok = got["retention"].(map[string]any)
+	if !ok {
+		t.Fatalf("retention missing: %v", got)
+	}
+	if r["enabled"] != true || r["window_seconds"] != float64(3600) ||
+		r["interval_seconds"] != float64(60) || r["runs"] != float64(3) ||
+		r["dropped"] != float64(12) || r["last_cutoff"] != float64(99) ||
+		r["last_unix"] != float64(1234) {
+		t.Fatalf("retention = %v", r)
+	}
+}
+
 func TestSnapshotUploadRejectedWhenWALOwnsState(t *testing.T) {
 	srv, ts := newTestServerShards(t, 2)
 	srv.SetDurability(func() DurabilityStatus { return DurabilityStatus{WAL: true} })

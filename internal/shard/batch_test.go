@@ -152,7 +152,7 @@ func TestExpire(t *testing.T) {
 	if dropped <= 0 {
 		t.Fatalf("Expire(%d) dropped %d leaves, want > 0", cutoff, dropped)
 	}
-	if after := s.Stats().Total.Leaves; after != before-dropped {
+	if after := s.Stats().Total.Leaves; int64(after) != int64(before)-dropped {
 		t.Fatalf("leaves after expire = %d, want %d - %d", after, before, dropped)
 	}
 	for k, w := range want {

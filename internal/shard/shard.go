@@ -88,6 +88,11 @@ type Summary struct {
 	cfg   Config
 	part  hashing.Hasher // partitioning hash, decorrelated from core's
 	slots []*slot
+
+	// walOwned, once set (MarkWALOwned), marks the summary's durable state
+	// as owned by a write-ahead log: direct Expire calls panic, because an
+	// unlogged expire would be resurrected by crash recovery.
+	walOwned atomic.Bool
 }
 
 // New returns an empty sharded summary for the given configuration.
@@ -260,7 +265,7 @@ func (s *Summary) DoBatch(qs []query.Query) []query.Result { return query.DoBatc
 
 // weightOf adapts Do to the per-kind method signatures, which predate
 // Result: shapes that cannot be answered (inverted windows, paths shorter
-// than one edge) answer zero, as they always have.
+// than one edge, empty subgraphs) answer zero, as they always have.
 func (s *Summary) weightOf(q query.Query) int64 {
 	r := query.Do(s, q)
 	if r.Err != nil {
@@ -314,15 +319,72 @@ func (s *Summary) SubgraphWeight(edges [][2]uint64, ts, te int64) int64 {
 // unlike core.Expire, which must not race anything — queries and inserts
 // simply serialize behind each shard's lock, so a live sharded deployment
 // can expire periodically without pausing service.
-func (s *Summary) Expire(cutoff int64) int {
+//
+// Expire leaves the durability watermarks untouched and therefore must
+// not be called on a summary owned by a WAL-backed ingest pipeline: an
+// unlogged expire would be silently undone by crash recovery (the replay
+// re-inserts every expired edge). MarkWALOwned arms a guard that turns
+// such a call into a panic; route retention through the pipeline's Expire
+// instead, which sequences and logs it (DESIGN.md §13).
+func (s *Summary) Expire(cutoff int64) int64 {
+	return s.ExpireAt(cutoff, 0)
+}
+
+// MarkWALOwned arms the guard that makes direct Expire calls panic: the
+// summary's durable state is owned by a write-ahead log, so every expire
+// must be sequenced and logged by the ingest pipeline. It is called by
+// ingest.New when the pipeline is WAL-backed and is never unset.
+func (s *Summary) MarkWALOwned() { s.walOwned.Store(true) }
+
+// ExpireAt expires every shard concurrently (each under its write lock)
+// and advances each shard's durability watermark to seq — the expire's
+// write-ahead-log sequence number — making it the expire-shaped sibling of
+// InsertShardAt: the snapshot codec captures (contents, watermark) under
+// one lock acquisition, so a snapshot taken after an expire can never
+// replay it twice. seq 0 is the non-durable path (watermarks untouched)
+// and trips the WAL-ownership guard, exactly like Expire. Callers
+// sequencing against a WAL must order ExpireAt between the applies of
+// lower and higher sequence numbers, exactly as InsertShardAt.
+func (s *Summary) ExpireAt(cutoff int64, seq uint64) int64 {
+	s.checkUnloggedExpire(seq)
 	var dropped atomic.Int64
 	s.eachShard(func(sl *slot) {
 		sl.mu.Lock()
 		n := sl.sum.Expire(cutoff)
+		if seq > sl.seq {
+			sl.seq = seq
+		}
 		sl.mu.Unlock()
 		dropped.Add(int64(n))
 	})
-	return int(dropped.Load())
+	return dropped.Load()
+}
+
+// ExpireShardAt expires shard i under a single write-lock acquisition,
+// advancing its durability watermark to seq (0 is unlogged and trips the
+// WAL-ownership guard), and returns the number of leaves reclaimed.
+// Recovery replays expire records with it shard by shard, skipping shards
+// whose watermark already covers the record.
+func (s *Summary) ExpireShardAt(i int, cutoff int64, seq uint64) int64 {
+	s.checkUnloggedExpire(seq)
+	sl := s.slots[i]
+	sl.mu.Lock()
+	n := sl.sum.Expire(cutoff)
+	if seq > sl.seq {
+		sl.seq = seq
+	}
+	sl.mu.Unlock()
+	return int64(n)
+}
+
+// checkUnloggedExpire panics on any unlogged (seq 0) expire of a
+// WAL-owned summary, whichever entry point it arrives through: applied in
+// memory with no record and no watermark advance, it would be silently
+// undone by the next crash recovery, resurrecting every expired edge.
+func (s *Summary) checkUnloggedExpire(seq uint64) {
+	if seq == 0 && s.walOwned.Load() {
+		panic("shard: unlogged expire on a WAL-owned summary would be resurrected by crash recovery; use the ingest pipeline's Expire")
+	}
 }
 
 // Finalize marks the end of the stream on every shard concurrently; see

@@ -11,21 +11,30 @@
 //
 // A log is a directory of segment files named by the sequence number of
 // their first record ("%020d.wal"). Each segment starts with a small header
-// (magic + version) followed by records. A record frames one appended
-// batch: a fixed-width length and CRC32 over a varint payload carrying the
-// batch's first sequence number, the edge count, and the edges themselves.
-// Records never span segments; when the active segment exceeds
-// Config.SegmentBytes it is flushed, synced, closed, and a new one begins.
+// (magic + version) followed by records. A record is a fixed-width length
+// and CRC32 over a varint payload. The frame is versioned per segment:
+// version-2 payloads open with a record type — an edge batch (the batch's
+// first sequence number, the edge count, and the edges themselves) or an
+// expire control record (its own sequence number and the retention
+// cutoff). Version-1 segments, written before expiry was durable, carry
+// untyped edge-batch payloads and still replay; new records are only ever
+// appended to version-2 segments (Open seals a version-1 active segment
+// and starts a fresh one). Records never span segments; when the active
+// segment exceeds Config.SegmentBytes it is flushed, synced, closed, and a
+// new one begins.
 //
 // # Sequence numbers
 //
 // Every appended edge receives a global sequence number (the first is 1;
-// 0 means "nothing"). Append assigns them under the log's mutex and invokes
-// the caller's deliver callback under that same mutex, so the order in
-// which batches reach the log IS sequence order — the property snapshot
-// recovery relies on: each shard applies its edges in ascending sequence,
-// so a per-shard watermark (shard.Summary.ShardSeq) cleanly splits "in the
-// snapshot" from "replay me".
+// 0 means "nothing"), and an expire control record consumes one sequence
+// number of its own. Append and AppendExpire assign them under the log's
+// mutex and invoke the caller's deliver callback under that same mutex, so
+// the order in which batches reach the log IS sequence order — the
+// property snapshot recovery relies on: each shard applies its records in
+// ascending sequence, so a per-shard watermark (shard.Summary.ShardSeq)
+// cleanly splits "in the snapshot" from "replay me". Sequencing expires
+// like edges is what makes retention crash-safe: replay reproduces every
+// expire at exactly the point of the stream it originally ran at.
 //
 // # Durability
 //
@@ -67,8 +76,13 @@ import (
 )
 
 const (
-	walMagic   = 0x4857414c // "HWAL"
-	walVersion = 1
+	walMagic = 0x4857414c // "HWAL"
+
+	// walVersionV1 framed untyped edge-batch payloads; walVersion (2) adds
+	// the record-type prefix distinguishing edge batches from expire
+	// control records. Both versions are read; only walVersion is written.
+	walVersionV1 = 1
+	walVersion   = 2
 
 	// frameHeadLen is the fixed-width record frame: 4-byte little-endian
 	// payload length followed by 4-byte CRC32 (IEEE) of the payload.
@@ -85,6 +99,48 @@ const (
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
+
+// RecordType discriminates the payloads a version-2 segment frames.
+type RecordType uint8
+
+const (
+	// RecordEdges is an appended edge batch.
+	RecordEdges RecordType = 1
+	// RecordExpire is a retention control record: every subtree wholly
+	// before Cutoff was dropped at this point of the sequence.
+	RecordExpire RecordType = 2
+)
+
+// String returns the record type's name.
+func (t RecordType) String() string {
+	switch t {
+	case RecordEdges:
+		return "edges"
+	case RecordExpire:
+		return "expire"
+	default:
+		return fmt.Sprintf("RecordType(%d)", uint8(t))
+	}
+}
+
+// Record is one replayed log record. FirstSeq is the sequence number of
+// Edges[0] for an edge batch, or the record's own (single) sequence number
+// for an expire. Edges is valid only for the duration of the Replay
+// callback; Cutoff is set only for RecordExpire.
+type Record struct {
+	Type     RecordType
+	FirstSeq uint64
+	Edges    []stream.Edge
+	Cutoff   int64
+}
+
+// lastSeq returns the highest sequence number the record covers.
+func (r Record) lastSeq() uint64 {
+	if r.Type == RecordEdges {
+		return r.FirstSeq + uint64(len(r.Edges)) - 1
+	}
+	return r.FirstSeq
+}
 
 // Config parameterizes a log. The zero value of any field selects its
 // default.
@@ -191,9 +247,10 @@ func Open(cfg Config) (*Log, error) {
 	l.syncCond = sync.NewCond(&l.syncMu)
 	if len(segs) > 0 {
 		l.nextSeq = segs[0].firstSeq
+		lastVersion := uint64(walVersion)
 		for i, sg := range segs {
 			last := i == len(segs)-1
-			tail, next, corrupt, err := scanSegment(sg.path, l.nextSeq, nil)
+			tail, next, version, corrupt, err := scanSegment(sg.path, l.nextSeq, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -204,23 +261,47 @@ func Open(cfg Config) (*Log, error) {
 				if err := repairTail(sg.path, tail); err != nil {
 					return nil, err
 				}
+				if tail < int64(len(headerBytes(walVersion))) {
+					// Rebuilt header-only, in the current frame version.
+					version = walVersion
+				}
 			}
 			l.nextSeq = next
+			if last {
+				lastVersion = version
+			}
 		}
 		l.appended = l.nextSeq - 1
 		l.synced = l.appended // everything scanned is on disk
-		// Re-open the last segment for appending.
 		lastSeg := segs[len(segs)-1]
-		f, err := os.OpenFile(lastSeg.path, os.O_RDWR, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("wal: %w", err)
+		if lastVersion != walVersion && l.nextSeq != lastSeg.firstSeq {
+			// A legacy (version-1) active segment with records: seal it as a
+			// read-only part of the chain and append into a fresh version-2
+			// segment, so typed records never land behind an untyped header.
+			if err := l.newSegmentLocked(); err != nil {
+				return nil, err
+			}
+		} else {
+			if lastVersion != walVersion {
+				// An empty legacy segment (header only, no records): rewrite
+				// it in the current frame version instead of creating a
+				// same-named sibling.
+				if err := repairTail(lastSeg.path, 0); err != nil {
+					return nil, err
+				}
+			}
+			// Re-open the last segment for appending.
+			f, err := os.OpenFile(lastSeg.path, os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			size, err := f.Seek(0, io.SeekEnd)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			l.f, l.bw, l.size = f, bufio.NewWriterSize(f, 1<<16), size
 		}
-		size, err := f.Seek(0, io.SeekEnd)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("wal: %w", err)
-		}
-		l.f, l.bw, l.size = f, bufio.NewWriterSize(f, 1<<16), size
 	} else if err := l.newSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -256,12 +337,14 @@ func listSegments(dir string) ([]segment, error) {
 	return segs, nil
 }
 
-// headerBytes returns the encoded segment header.
-func headerBytes() []byte {
+// headerBytes returns the encoded segment header for the given frame
+// version. Versions 1 and 2 encode to the same length, so header parsing
+// and tail repair never need to guess a header's size.
+func headerBytes(version uint64) []byte {
 	var buf bytes.Buffer
 	w := wire.NewWriter(&buf)
 	w.U64(walMagic)
-	w.U64(walVersion)
+	w.U64(version)
 	if err := w.Flush(); err != nil {
 		panic(err) // writes to a bytes.Buffer cannot fail
 	}
@@ -276,7 +359,7 @@ func (l *Log) newSegmentLocked() error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	hdr := headerBytes()
+	hdr := headerBytes(walVersion)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		os.Remove(path)
@@ -291,9 +374,10 @@ func (l *Log) newSegmentLocked() error {
 
 // repairTail truncates a torn last segment after its last intact record.
 // A tail shorter than the segment header (an interrupted segment creation)
-// is rebuilt as header-only so the reopened segment stays well-formed.
+// is rebuilt as header-only — in the current frame version, since an empty
+// segment has no legacy records to stay compatible with.
 func repairTail(path string, tail int64) error {
-	hdr := headerBytes()
+	hdr := headerBytes(walVersion)
 	if tail >= int64(len(hdr)) {
 		if err := os.Truncate(path, tail); err != nil {
 			return fmt.Errorf("wal: repair %s: %w", path, err)
@@ -378,6 +462,7 @@ func (l *Log) Append(edges []stream.Edge, deliver func(firstSeq uint64) error) (
 	// batches share sequences, corrupting the watermark invariant.
 	l.enc.Reset()
 	w := wire.NewWriter(&l.enc)
+	w.U64(uint64(RecordEdges))
 	w.U64(first)
 	w.Int(len(edges))
 	for _, e := range edges {
@@ -390,26 +475,75 @@ func (l *Log) Append(edges []stream.Edge, deliver func(firstSeq uint64) error) (
 		l.err = err
 		return 0, err
 	}
-	payload := l.enc.Bytes()
-	if len(payload) > maxRecordBytes {
+	if len(l.enc.Bytes()) > maxRecordBytes {
 		// Not sticky: the log is intact, the batch is just too large.
-		return 0, fmt.Errorf("wal: batch encodes to %d bytes, limit %d", len(payload), maxRecordBytes)
+		return 0, fmt.Errorf("wal: batch encodes to %d bytes, limit %d", len(l.enc.Bytes()), maxRecordBytes)
 	}
 	if deliver != nil {
 		if err := deliver(first); err != nil {
 			return 0, err
 		}
 	}
+	if err := l.writeRecordLocked(last); err != nil {
+		return last, err
+	}
+	return last, nil
+}
+
+// AppendExpire appends a retention control record: every subtree wholly
+// before cutoff was dropped at this point of the sequence. The record
+// consumes one sequence number, which deliver receives — still under the
+// log's mutex, exactly as Append's deliver, so the expire is totally
+// ordered against every edge batch: batches admitted before it carry lower
+// sequence numbers, batches admitted after carry higher ones. A deliver
+// error aborts the append (no record, no sequence consumed). As with
+// Append, the record is durable only after a sync covering the returned
+// sequence number — wait with WaitSynced before acknowledging the expire.
+func (l *Log) AppendExpire(cutoff int64, deliver func(seq uint64) error) (seq uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	seq = l.nextSeq
+	l.enc.Reset()
+	w := wire.NewWriter(&l.enc)
+	w.U64(uint64(RecordExpire))
+	w.U64(seq)
+	w.I64(cutoff)
+	if err := w.Flush(); err != nil {
+		l.err = err
+		return 0, err
+	}
+	if deliver != nil {
+		if err := deliver(seq); err != nil {
+			return 0, err
+		}
+	}
+	if err := l.writeRecordLocked(seq); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// writeRecordLocked frames l.enc's payload into the active segment and
+// advances the log to last, rotating and kicking the syncer as needed.
+// Caller holds l.mu; a write failure is sticky.
+func (l *Log) writeRecordLocked(last uint64) error {
+	payload := l.enc.Bytes()
 	var head [frameHeadLen]byte
 	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
 	if _, err := l.bw.Write(head[:]); err != nil {
 		l.err = err
-		return last, err
+		return err
 	}
 	if _, err := l.bw.Write(payload); err != nil {
 		l.err = err
-		return last, err
+		return err
 	}
 	l.size += int64(frameHeadLen + len(payload))
 	l.nextSeq = last + 1
@@ -417,11 +551,11 @@ func (l *Log) Append(edges []stream.Edge, deliver func(firstSeq uint64) error) (
 	if l.size >= l.cfg.SegmentBytes {
 		l.rotateLocked()
 		if l.err != nil {
-			return last, l.err
+			return l.err
 		}
 	}
 	l.kick()
-	return last, nil
+	return nil
 }
 
 // kick wakes the syncer (at-least-once; a dropped send means one is already
@@ -581,12 +715,13 @@ func (l *Log) TruncateThrough(seq uint64) (removed int, err error) {
 	return removed, nil
 }
 
-// Replay streams every record to fn in sequence order: fn receives the
-// record's first sequence number and its edges (valid only for the call).
-// Replay reads the segment files directly, so it must not run concurrently
-// with Append; recovery calls it after Open and before handing the log to
-// an ingest pipeline. A fn error aborts the replay and is returned.
-func (l *Log) Replay(fn func(firstSeq uint64, edges []stream.Edge) error) error {
+// Replay streams every record to fn in sequence order: edge batches and
+// expire control records interleaved exactly as they were appended (the
+// Record's edge slice is valid only for the call). Replay reads the
+// segment files directly, so it must not run concurrently with Append;
+// recovery calls it after Open and before handing the log to an ingest
+// pipeline. A fn error aborts the replay and is returned.
+func (l *Log) Replay(fn func(Record) error) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -602,7 +737,7 @@ func (l *Log) Replay(fn func(firstSeq uint64, edges []stream.Edge) error) error 
 	l.mu.Unlock()
 	for _, sg := range segs {
 		expect := sg.firstSeq
-		_, _, corrupt, err := scanSegment(sg.path, expect, fn)
+		_, _, _, corrupt, err := scanSegment(sg.path, expect, fn)
 		if err != nil {
 			return err
 		}
@@ -643,25 +778,31 @@ func (l *Log) Close() error {
 // scanSegment iterates a segment's records, validating framing, CRC, and
 // sequence contiguity (the first record must start at expect). For each
 // intact record it calls fn (when non-nil). It returns the byte offset
-// after the last intact record, the next expected sequence number, and —
-// separated from hard I/O errors — the malformation that stopped the scan
-// (nil on a clean EOF). Callers decide whether a malformation is a
-// repairable torn tail (last segment) or fatal corruption.
-func scanSegment(path string, expect uint64, fn func(uint64, []stream.Edge) error) (tail int64, next uint64, corrupt, err error) {
+// after the last intact record, the next expected sequence number, the
+// segment's frame version, and — separated from hard I/O errors — the
+// malformation that stopped the scan (nil on a clean EOF). Callers decide
+// whether a malformation is a repairable torn tail (last segment) or fatal
+// corruption.
+func scanSegment(path string, expect uint64, fn func(Record) error) (tail int64, next uint64, version uint64, corrupt, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, expect, nil, fmt.Errorf("wal: %w", err)
+		return 0, expect, walVersion, nil, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
-	hdr := headerBytes()
+	hdr := headerBytes(walVersion)
 	got := make([]byte, len(hdr))
 	if _, err := io.ReadFull(br, got); err != nil {
 		// Shorter than a header: an interrupted segment creation.
-		return 0, expect, fmt.Errorf("truncated segment header"), nil
+		return 0, expect, walVersion, fmt.Errorf("truncated segment header"), nil
 	}
-	if !bytes.Equal(got, hdr) {
-		return 0, expect, nil, fmt.Errorf("wal: segment %s: bad header", path)
+	switch {
+	case bytes.Equal(got, hdr):
+		version = walVersion
+	case bytes.Equal(got, headerBytes(walVersionV1)):
+		version = walVersionV1
+	default:
+		return 0, expect, walVersion, nil, fmt.Errorf("wal: segment %s: bad header", path)
 	}
 	tail = int64(len(hdr))
 	next = expect
@@ -670,61 +811,86 @@ func scanSegment(path string, expect uint64, fn func(uint64, []stream.Edge) erro
 	for {
 		if _, err := io.ReadFull(br, head[:]); err != nil {
 			if err == io.EOF {
-				return tail, next, nil, nil
+				return tail, next, version, nil, nil
 			}
-			return tail, next, fmt.Errorf("torn record frame"), nil
+			return tail, next, version, fmt.Errorf("torn record frame"), nil
 		}
 		n := binary.LittleEndian.Uint32(head[0:4])
 		sum := binary.LittleEndian.Uint32(head[4:8])
 		if n == 0 || n > maxRecordBytes {
-			return tail, next, fmt.Errorf("record length %d out of range", n), nil
+			return tail, next, version, fmt.Errorf("record length %d out of range", n), nil
 		}
 		if cap(payload) < int(n) {
 			payload = make([]byte, n)
 		}
 		payload = payload[:n]
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return tail, next, fmt.Errorf("torn record payload"), nil
+			return tail, next, version, fmt.Errorf("torn record payload"), nil
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return tail, next, fmt.Errorf("record checksum mismatch"), nil
+			return tail, next, version, fmt.Errorf("record checksum mismatch"), nil
 		}
-		first, edges, derr := decodeRecord(payload)
+		rec, derr := decodeRecord(version, payload)
 		if derr != nil {
-			return tail, next, derr, nil
+			return tail, next, version, derr, nil
 		}
-		if first != next {
-			return tail, next, nil, fmt.Errorf("wal: segment %s: record starts at seq %d, want %d", path, first, next)
+		if rec.FirstSeq != next {
+			return tail, next, version, nil, fmt.Errorf("wal: segment %s: record starts at seq %d, want %d", path, rec.FirstSeq, next)
 		}
 		if fn != nil {
-			if err := fn(first, edges); err != nil {
-				return tail, next, nil, err
+			if err := fn(rec); err != nil {
+				return tail, next, version, nil, err
 			}
 		}
-		next = first + uint64(len(edges))
+		next = rec.lastSeq() + 1
 		tail += int64(frameHeadLen) + int64(len(payload))
 	}
 }
 
-// decodeRecord parses one record payload.
-func decodeRecord(payload []byte) (first uint64, edges []stream.Edge, err error) {
+// decodeRecord parses one record payload under the segment's frame
+// version: version-1 payloads are untyped edge batches, version-2 payloads
+// open with their RecordType.
+func decodeRecord(version uint64, payload []byte) (Record, error) {
 	r := wire.NewReader(bytes.NewReader(payload))
-	first = r.U64()
-	n := r.Int()
-	if err := r.Err(); err != nil {
-		return 0, nil, fmt.Errorf("record header: %w", err)
+	typ := RecordEdges
+	if version >= walVersion {
+		t := r.U64()
+		if err := r.Err(); err != nil {
+			return Record{}, fmt.Errorf("record type: %w", err)
+		}
+		typ = RecordType(t)
 	}
-	if first == 0 || n <= 0 || n > maxRecordBytes/4 {
-		return 0, nil, fmt.Errorf("record header out of range (first=%d count=%d)", first, n)
+	switch typ {
+	case RecordEdges:
+		first := r.U64()
+		n := r.Int()
+		if err := r.Err(); err != nil {
+			return Record{}, fmt.Errorf("record header: %w", err)
+		}
+		if first == 0 || n <= 0 || n > maxRecordBytes/4 {
+			return Record{}, fmt.Errorf("record header out of range (first=%d count=%d)", first, n)
+		}
+		edges := make([]stream.Edge, n)
+		for i := range edges {
+			edges[i] = stream.Edge{S: r.U64(), D: r.U64(), W: r.I64(), T: r.I64()}
+		}
+		if err := r.Err(); err != nil {
+			return Record{}, fmt.Errorf("record edges: %w", err)
+		}
+		return Record{Type: RecordEdges, FirstSeq: first, Edges: edges}, nil
+	case RecordExpire:
+		seq := r.U64()
+		cutoff := r.I64()
+		if err := r.Err(); err != nil {
+			return Record{}, fmt.Errorf("expire record: %w", err)
+		}
+		if seq == 0 {
+			return Record{}, fmt.Errorf("expire record header out of range (seq=0)")
+		}
+		return Record{Type: RecordExpire, FirstSeq: seq, Cutoff: cutoff}, nil
+	default:
+		return Record{}, fmt.Errorf("unknown record type %d", uint8(typ))
 	}
-	edges = make([]stream.Edge, n)
-	for i := range edges {
-		edges[i] = stream.Edge{S: r.U64(), D: r.U64(), W: r.I64(), T: r.I64()}
-	}
-	if err := r.Err(); err != nil {
-		return 0, nil, fmt.Errorf("record edges: %w", err)
-	}
-	return first, edges, nil
 }
 
 // SyncDir best-effort fsyncs a directory so file creations, removals, and

@@ -1,8 +1,11 @@
 package wal
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -10,6 +13,7 @@ import (
 	"time"
 
 	"higgs/internal/stream"
+	"higgs/internal/wire"
 )
 
 // edge builds a deterministic test edge for index i.
@@ -34,18 +38,23 @@ func openT(t *testing.T, cfg Config) *Log {
 	return l
 }
 
-// collect replays the log into a flat edge slice, asserting sequence
-// contiguity starting at wantFirst.
+// collect replays the log's edge batches into a flat edge slice, asserting
+// sequence contiguity starting at wantFirst (expire records consume their
+// sequence number but contribute no edges).
 func collect(t *testing.T, l *Log, wantFirst uint64) []stream.Edge {
 	t.Helper()
 	var out []stream.Edge
 	next := wantFirst
-	err := l.Replay(func(first uint64, es []stream.Edge) error {
-		if first != next {
-			t.Fatalf("record first seq = %d, want %d", first, next)
+	err := l.Replay(func(rec Record) error {
+		if rec.FirstSeq != next {
+			t.Fatalf("record first seq = %d, want %d", rec.FirstSeq, next)
 		}
-		out = append(out, es...)
-		next = first + uint64(len(es))
+		if rec.Type == RecordEdges {
+			out = append(out, rec.Edges...)
+			next = rec.FirstSeq + uint64(len(rec.Edges))
+		} else {
+			next = rec.FirstSeq + 1
+		}
 		return nil
 	})
 	if err != nil {
@@ -196,11 +205,11 @@ func TestRotationAndTruncate(t *testing.T) {
 	}
 	// Everything after the covered prefix replays; nothing before does.
 	low, n := ^uint64(0), uint64(0)
-	if err := l.Replay(func(first uint64, es []stream.Edge) error {
-		if first < low {
-			low = first
+	if err := l.Replay(func(rec Record) error {
+		if rec.FirstSeq < low {
+			low = rec.FirstSeq
 		}
-		n += uint64(len(es))
+		n += uint64(len(rec.Edges))
 		return nil
 	}); err != nil {
 		t.Fatal(err)
@@ -363,7 +372,7 @@ func TestClosedLogRejectsOperations(t *testing.T) {
 	if _, err := l.TruncateThrough(1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("TruncateThrough on closed log: %v", err)
 	}
-	if err := l.Replay(func(uint64, []stream.Edge) error { return nil }); !errors.Is(err, ErrClosed) {
+	if err := l.Replay(func(Record) error { return nil }); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Replay on closed log: %v", err)
 	}
 	if err := l.Close(); err != nil {
@@ -438,12 +447,261 @@ func TestReplayErrorAborts(t *testing.T) {
 	}
 	boom := fmt.Errorf("stop here")
 	calls := 0
-	err := l.Replay(func(uint64, []stream.Edge) error {
+	err := l.Replay(func(Record) error {
 		calls++
 		return boom
 	})
 	if !errors.Is(err, boom) || calls != 1 {
 		t.Fatalf("replay abort: err = %v after %d calls", err, calls)
+	}
+}
+
+// replayAll collects every record (typed) in replay order.
+func replayAll(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(func(rec Record) error {
+		cp := rec
+		cp.Edges = append([]stream.Edge(nil), rec.Edges...)
+		out = append(out, cp)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+// TestExpireRecordRoundtrip: expire control records interleave with edge
+// batches, consume one sequence number each, and replay — across reopens —
+// at exactly their appended position.
+func TestExpireRecordRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	if _, err := l.Append(edges(0, 4), nil); err != nil { // seqs 1..4
+		t.Fatal(err)
+	}
+	seq, err := l.AppendExpire(42, func(seq uint64) error {
+		if seq != 5 {
+			t.Fatalf("expire deliver seq = %d, want 5", seq)
+		}
+		return nil
+	})
+	if err != nil || seq != 5 {
+		t.Fatalf("AppendExpire: seq = %d, err = %v; want 5, nil", seq, err)
+	}
+	if err := l.WaitSynced(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(edges(4, 3), nil); err != nil { // seqs 6..8
+		t.Fatal(err)
+	}
+	if got := l.LastSeq(); got != 8 {
+		t.Fatalf("LastSeq = %d, want 8", got)
+	}
+	check := func(l *Log) {
+		t.Helper()
+		recs := replayAll(t, l)
+		if len(recs) != 3 {
+			t.Fatalf("replayed %d records, want 3", len(recs))
+		}
+		if recs[0].Type != RecordEdges || recs[0].FirstSeq != 1 || len(recs[0].Edges) != 4 {
+			t.Fatalf("record 0 = %+v, want 4-edge batch at seq 1", recs[0])
+		}
+		if recs[1].Type != RecordExpire || recs[1].FirstSeq != 5 || recs[1].Cutoff != 42 {
+			t.Fatalf("record 1 = %+v, want expire(42) at seq 5", recs[1])
+		}
+		if recs[2].Type != RecordEdges || recs[2].FirstSeq != 6 || len(recs[2].Edges) != 3 {
+			t.Fatalf("record 2 = %+v, want 3-edge batch at seq 6", recs[2])
+		}
+	}
+	check(l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, Config{Dir: dir})
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 8 {
+		t.Fatalf("reopened LastSeq = %d, want 8", got)
+	}
+	check(l2)
+	// Appends resume after the expire's consumed sequence number.
+	if last, err := l2.Append(edges(7, 2), nil); err != nil || last != 10 {
+		t.Fatalf("append after reopen: last = %d, err = %v; want 10", last, err)
+	}
+}
+
+// TestAppendExpireDeliverAbort: an aborted expire leaves no record and
+// consumes no sequence number, mirroring Append's contract.
+func TestAppendExpireDeliverAbort(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir()})
+	defer l.Close()
+	if _, err := l.Append(edges(0, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("not now")
+	if _, err := l.AppendExpire(9, func(uint64) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("aborted expire error = %v, want %v", err, boom)
+	}
+	if got := l.LastSeq(); got != 2 {
+		t.Fatalf("LastSeq after aborted expire = %d, want 2", got)
+	}
+	seq, err := l.AppendExpire(9, nil)
+	if err != nil || seq != 3 {
+		t.Fatalf("expire after abort: seq = %d, err = %v; want 3", seq, err)
+	}
+	if recs := replayAll(t, l); len(recs) != 2 || recs[1].Type != RecordExpire {
+		t.Fatalf("replay after abort = %+v, want edge batch + expire", recs)
+	}
+}
+
+// TestAppendExpireClosed: a closed log rejects expires like appends.
+func TestAppendExpireClosed(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir()})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendExpire(1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AppendExpire on closed log: %v", err)
+	}
+}
+
+// TestExpireRecordsRotateAndTruncate: expire records rotate segments and
+// are disposed of by TruncateThrough like any other record.
+func TestExpireRecordsRotateAndTruncate(t *testing.T) {
+	l := openT(t, Config{Dir: t.TempDir(), SegmentBytes: 256})
+	defer l.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append(edges(i*4, 4), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.AppendExpire(int64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := l.Segments(); n < 3 {
+		t.Fatalf("only %d segments", n)
+	}
+	// 30 × (4 edges + 1 expire) = 150 sequences.
+	if got := l.LastSeq(); got != 150 {
+		t.Fatalf("LastSeq = %d, want 150", got)
+	}
+	if removed, err := l.TruncateThrough(75); err != nil || removed == 0 {
+		t.Fatalf("TruncateThrough: removed %d, err %v", removed, err)
+	}
+	recs := replayAll(t, l)
+	if len(recs) == 0 {
+		t.Fatal("nothing replayed after truncate")
+	}
+	if end := recs[len(recs)-1].lastSeq(); end != 150 {
+		t.Fatalf("replay after truncate ends at %d, want 150", end)
+	}
+}
+
+// writeV1Segment hand-writes a version-1 (pre-typed-record) segment
+// exactly as the previous release laid it out: magic + version-1 header,
+// then length+CRC frames over untyped (firstSeq, count, edges...)
+// payloads. It is the compatibility fixture proving old logs still replay.
+func writeV1Segment(t *testing.T, dir string, firstSeq uint64, batches [][]stream.Edge) {
+	t.Helper()
+	var seg bytes.Buffer
+	seg.Write(headerBytes(walVersionV1))
+	seq := firstSeq
+	for _, b := range batches {
+		var pay bytes.Buffer
+		w := wire.NewWriter(&pay)
+		w.U64(seq)
+		w.Int(len(b))
+		for _, e := range b {
+			w.U64(e.S)
+			w.U64(e.D)
+			w.I64(e.W)
+			w.I64(e.T)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var head [frameHeadLen]byte
+		binary.LittleEndian.PutUint32(head[0:4], uint32(pay.Len()))
+		binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(pay.Bytes()))
+		seg.Write(head[:])
+		seg.Write(pay.Bytes())
+		seq += uint64(len(b))
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%020d%s", firstSeq, segmentSuffix))
+	if err := os.WriteFile(path, seg.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1SegmentCompat: a log written before typed records (version-1
+// frames) opens, replays, and keeps accepting appends — which land in a
+// fresh version-2 segment, never behind the untyped header.
+func TestV1SegmentCompat(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Segment(t, dir, 1, [][]stream.Edge{edges(0, 5), edges(5, 3)})
+	l := openT(t, Config{Dir: dir})
+	if got := l.LastSeq(); got != 8 {
+		t.Fatalf("v1 LastSeq = %d, want 8", got)
+	}
+	// The v1 active segment is sealed: appends start a second segment.
+	if n := l.Segments(); n != 2 {
+		t.Fatalf("segments after opening a v1 log = %d, want 2 (sealed v1 + fresh v2)", n)
+	}
+	if last, err := l.Append(edges(8, 2), nil); err != nil || last != 10 {
+		t.Fatalf("append onto v1 log: last = %d, err = %v; want 10", last, err)
+	}
+	if seq, err := l.AppendExpire(77, nil); err != nil || seq != 11 {
+		t.Fatalf("expire onto v1 log: seq = %d, err = %v; want 11", seq, err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs := replayAll(t, l)
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	for i, want := range []struct {
+		typ   RecordType
+		first uint64
+		n     int
+	}{{RecordEdges, 1, 5}, {RecordEdges, 6, 3}, {RecordEdges, 9, 2}, {RecordExpire, 11, 0}} {
+		if recs[i].Type != want.typ || recs[i].FirstSeq != want.first || len(recs[i].Edges) != want.n {
+			t.Fatalf("record %d = %+v, want type=%v first=%d edges=%d", i, recs[i], want.typ, want.first, want.n)
+		}
+	}
+	if recs[3].Cutoff != 77 {
+		t.Fatalf("expire cutoff = %d, want 77", recs[3].Cutoff)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second reopen reads the mixed-version chain end to end.
+	l2 := openT(t, Config{Dir: dir})
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 11 {
+		t.Fatalf("mixed-version reopen LastSeq = %d, want 11", got)
+	}
+	if got := collect(t, l2, 1); len(got) != 10 {
+		t.Fatalf("mixed-version replay = %d edges, want 10", len(got))
+	}
+}
+
+// TestV1EmptySegmentRewritten: a header-only v1 segment (a log that never
+// saw an append) is rewritten in place as version 2 rather than growing a
+// same-named sibling.
+func TestV1EmptySegmentRewritten(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Segment(t, dir, 1, nil)
+	l := openT(t, Config{Dir: dir})
+	defer l.Close()
+	if n := l.Segments(); n != 1 {
+		t.Fatalf("segments = %d, want 1 (rewritten in place)", n)
+	}
+	if seq, err := l.AppendExpire(5, nil); err != nil || seq != 1 {
+		t.Fatalf("expire on rewritten segment: seq = %d, err = %v", seq, err)
+	}
+	if recs := replayAll(t, l); len(recs) != 1 || recs[0].Type != RecordExpire {
+		t.Fatalf("replay = %+v, want one expire", recs)
 	}
 }
 

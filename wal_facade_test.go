@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"higgs"
 )
@@ -69,6 +70,139 @@ func TestWALFacadeCrashRecovery(t *testing.T) {
 	}
 	if got := recovered.EdgeWeight(2, 3, 0, 100); got != 5 {
 		t.Fatalf("recovered edge 2→3 weight = %d, want 5", got)
+	}
+}
+
+// TestWALFacadeDurableExpire drives durable retention through the public
+// API: Ingest.Expire on a WAL-backed pipeline survives a crash (recovery
+// does not resurrect the expired edges), direct Sharded.Expire on the
+// WAL-owned summary panics, and the Retainer ticks through the same path.
+func TestWALFacadeDurableExpire(t *testing.T) {
+	dir := t.TempDir()
+	cfg := higgs.DefaultShardedConfig()
+	cfg.Shards = 2
+
+	build := func(walDir string, mode higgs.IngestMode) (*higgs.Sharded, *higgs.Ingest, *higgs.WAL) {
+		t.Helper()
+		w, err := higgs.OpenWAL(higgs.WALConfig{Dir: walDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := higgs.NewSharded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		icfg := higgs.DefaultIngestConfig()
+		icfg.Mode = mode
+		icfg.WAL = w
+		p, err := higgs.NewIngest(s, icfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, p, w
+	}
+	feed := func(p *higgs.Ingest) int64 {
+		t.Helper()
+		batch := make([]higgs.Edge, 3000)
+		for i := range batch {
+			batch[i] = higgs.Edge{S: uint64(i % 50), D: uint64(i%50 + 1), W: 1, T: int64(i)}
+		}
+		if _, err := p.Submit(batch); err != nil {
+			t.Fatal(err)
+		}
+		dropped, err := p.Expire(1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dropped <= 0 {
+			t.Fatalf("Expire dropped %d leaves, want > 0", dropped)
+		}
+		return dropped
+	}
+
+	crashed, p, w := build(dir, higgs.IngestAsync)
+	feed(p)
+	// Direct expire on the WAL-owned summary is a programming error the
+	// facade documents: it must panic, not silently de-synchronize.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("direct Sharded.Expire on a WAL-owned summary did not panic")
+			}
+		}()
+		crashed.Expire(1500)
+	}()
+	var want bytes.Buffer
+	p.Flush()
+	if _, err := crashed.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	crashed.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := higgs.OpenWAL(higgs.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recovered, err := higgs.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if _, err := higgs.Recover(recovered, w2); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, err := recovered.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("recovery diverged from the live post-expire state (%d vs %d bytes): expired edges resurrected",
+			got.Len(), want.Len())
+	}
+}
+
+// TestRetainerFacade runs the public retention loop against a pipeline
+// with a pinned clock.
+func TestRetainerFacade(t *testing.T) {
+	cfg := higgs.DefaultShardedConfig()
+	cfg.Shards = 2
+	s, err := higgs.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p, err := higgs.NewIngest(s, higgs.DefaultIngestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	batch := make([]higgs.Edge, 3000)
+	for i := range batch {
+		batch[i] = higgs.Edge{S: uint64(i % 50), D: uint64(i%50 + 1), W: 1, T: int64(i)}
+	}
+	if _, err := p.Submit(batch); err != nil {
+		t.Fatal(err)
+	}
+	p.Flush()
+	r, err := higgs.NewRetainer(p, higgs.RetentionConfig{
+		Window: 100 * time.Second,
+		Now:    func() time.Time { return time.Unix(3100, 0) }, // cutoff 3000
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	dropped, err := r.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped <= 0 || r.Dropped() != dropped || r.Runs() != 1 {
+		t.Fatalf("retainer tick: dropped = %d, counters runs=%d dropped=%d", dropped, r.Runs(), r.Dropped())
 	}
 }
 
