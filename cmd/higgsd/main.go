@@ -68,6 +68,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // handlers on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -98,6 +99,7 @@ func main() {
 		snapIvl = flag.Duration("snapshot-interval", 0, "background snapshot cadence; requires -wal-dir (0 = snapshot only on shutdown)")
 		retWin  = flag.Duration("retention-window", 0, "sliding retention window: periodically expire edges older than now minus this (0 = keep everything)")
 		retIvl  = flag.Duration("retention-interval", 0, "retention loop cadence; requires -retention-window (0 = window/10, at least 1s)")
+		pprof   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private — profiles expose internals")
 	)
 	flag.Parse()
 
@@ -215,6 +217,18 @@ func main() {
 		})
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprof != "" {
+		// The API server uses its own mux, so DefaultServeMux carries only
+		// the pprof handlers — served on a separate listener that is never
+		// exposed alongside the public API.
+		go func() {
+			log.Printf("higgsd: pprof listening on %s", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("higgsd: pprof: %v", err)
+			}
+		}()
+	}
 
 	go func() {
 		log.Printf("higgsd: listening on %s (shards=%d items=%d ingest=%s wal=%v)",

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"higgs/internal/core"
+	"higgs/internal/metrics"
+	"higgs/internal/query"
+	"higgs/internal/shard"
+)
+
+// allocsInsertRuns is the AllocsPerRun sample size for the insert/probe
+// hot loops: large enough that a once-per-few-calls allocation (a slab
+// growth, a map rehash) shows up as a fractional average instead of
+// rounding to zero.
+const allocsInsertRuns = 1000
+
+// Allocs is the hot-path allocation gate. For each dataset it measures,
+// via testing.AllocsPerRun:
+//
+//   - steady-state core insert — re-inserting an existing (s, d, t) item
+//     into a stream-warmed summary, the merge path every repeated edge
+//     takes — which must be 0 allocs/op (the arena + fill-prefix layout
+//     exists for this), and
+//   - a single-shard edge probe through shard.ProbeShard, the batch
+//     executor's per-shard hot loop, which must also be 0 allocs/op.
+//
+// A non-zero average is a hard failure, not a table footnote: the gate
+// exists to stop allocation regressions from reaching main. The third
+// column measures single-shard insert throughput (full stream + Finalize,
+// best of three runs) — the number the committed BENCH_allocs.json
+// baseline holds the pre-refactor value of, so CI's -baseline diff
+// enforces the refactor's speedup never erodes.
+func Allocs(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Extra: hot-path allocation gate (internal/core, internal/shard) ==")
+	t := metrics.NewTable("dataset", "steady insert", "edge probe", "insert eps", "verdict")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		insertAllocs, err := steadyInsertAllocs(ds, uint64(o.Seed))
+		if err != nil {
+			return err
+		}
+		probeAllocs, err := edgeProbeAllocs(ds, uint64(o.Seed))
+		if err != nil {
+			return err
+		}
+		eps, err := singleShardInsertEPS(ds, uint64(o.Seed))
+		if err != nil {
+			return err
+		}
+		o.record(ds.Name+"_steady_insert_allocs", insertAllocs)
+		o.record(ds.Name+"_edge_probe_allocs", probeAllocs)
+		o.record(ds.Name+"_insert_eps", eps)
+		verdict := "0 allocs/op"
+		if insertAllocs != 0 || probeAllocs != 0 {
+			verdict = "ALLOCATES"
+		}
+		t.AddRow(ds.Name,
+			fmt.Sprintf("%.2f allocs/op", insertAllocs),
+			fmt.Sprintf("%.2f allocs/op", probeAllocs),
+			metrics.FormatEPS(eps), verdict)
+		if insertAllocs != 0 {
+			return fmt.Errorf("bench: allocs: %s: steady-state insert allocates %.2f allocs/op, want 0", ds.Name, insertAllocs)
+		}
+		if probeAllocs != 0 {
+			return fmt.Errorf("bench: allocs: %s: single-shard edge probe allocates %.2f allocs/op, want 0", ds.Name, probeAllocs)
+		}
+	}
+	return t.Render(o.Out)
+}
+
+// steadyInsertAllocs warms a single core summary with the full stream and
+// measures re-insertion of the stream's last edge — a merge into an
+// existing leaf slot, the steady-state ingest path.
+func steadyInsertAllocs(ds *Dataset, seed uint64) (float64, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	s, err := core.New(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("bench: allocs: %w", err)
+	}
+	for _, e := range ds.Stream {
+		s.Insert(e)
+	}
+	e := ds.Stream[len(ds.Stream)-1]
+	s.Insert(e)
+	return testing.AllocsPerRun(allocsInsertRuns, func() { s.Insert(e) }), nil
+}
+
+// edgeProbeAllocs warms a single-shard sharded summary and measures one
+// edge probe through ProbeShard — the per-shard execution loop of the
+// batch query API.
+func edgeProbeAllocs(ds *Dataset, seed uint64) (float64, error) {
+	cfg := shard.DefaultConfig()
+	cfg.Shards = 1
+	cfg.Core.Seed = seed
+	s, err := shard.New(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("bench: allocs: %w", err)
+	}
+	defer s.Close()
+	for _, e := range ds.Stream {
+		s.Insert(e)
+	}
+	s.Finalize()
+	e := ds.Stream[0]
+	probes := []query.Probe{{Op: query.OpEdge, S: e.S, D: e.D, Ts: 0, Te: ds.Stats.Span() + 1}}
+	out := make([]int64, 1)
+	sh := s.ShardFor(e.S)
+	s.ProbeShard(sh, probes, out)
+	return testing.AllocsPerRun(allocsInsertRuns, func() { s.ProbeShard(sh, probes, out) }), nil
+}
+
+// singleShardInsertEPS replays the full stream into a fresh core summary
+// and finalizes it, best of three — the single-tree ingest throughput the
+// committed baseline tracks across refactors.
+func singleShardInsertEPS(ds *Dataset, seed uint64) (float64, error) {
+	best := 0.0
+	for run := 0; run < 3; run++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		s, err := core.New(cfg)
+		if err != nil {
+			return 0, fmt.Errorf("bench: allocs: %w", err)
+		}
+		start := time.Now()
+		for _, e := range ds.Stream {
+			s.Insert(e)
+		}
+		s.Finalize()
+		if eps := metrics.Throughput(int64(len(ds.Stream)), time.Since(start)); eps > best {
+			best = eps
+		}
+	}
+	return best, nil
+}

@@ -53,6 +53,8 @@ func AsyncIngest(o Options) error {
 			if err := asyncEquivalence(ds, n, uint64(o.Seed)); err != nil {
 				return err
 			}
+			o.record(fmt.Sprintf("%s_s%d_sync_eps", ds.Name, n), syncEPS)
+			o.record(fmt.Sprintf("%s_s%d_async_eps", ds.Name, n), asyncEPS)
 			t.AddRow(ds.Name, fmt.Sprint(n), metrics.FormatEPS(syncEPS),
 				metrics.FormatEPS(asyncEPS),
 				fmt.Sprintf("%.2f×", asyncEPS/syncEPS),

@@ -58,6 +58,9 @@ func BatchQuery(o Options) error {
 			if err != nil {
 				return err
 			}
+			o.record(fmt.Sprintf("%s_s%d_percall_qps", ds.Name, n), r.perCallQPS)
+			o.record(fmt.Sprintf("%s_s%d_batched_qps", ds.Name, n), r.batchedQPS)
+			o.record(fmt.Sprintf("%s_s%d_locks_per_batch", ds.Name, n), float64(r.maxLocksPerBatch))
 			t.AddRow(ds.Name, fmt.Sprint(n),
 				metrics.FormatEPS(r.perCallQPS), metrics.FormatEPS(r.batchedQPS),
 				fmt.Sprintf("%.2f×", r.batchedQPS/r.perCallQPS),

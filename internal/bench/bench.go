@@ -65,6 +65,19 @@ type Options struct {
 	Seed            int64     // workload seed
 	Out             io.Writer // defaults to os.Stdout
 	Presets         []stream.Preset
+
+	// Metrics, when non-nil, collects each experiment's headline numbers
+	// under stable names ("<dataset>_s<shards>_<what>"), so cmd/higgsbench
+	// can persist them in the -json artifact and diff them against a
+	// committed baseline (-baseline).
+	Metrics map[string]float64
+}
+
+// record stores a headline metric when the caller asked for them.
+func (o Options) record(name string, v float64) {
+	if o.Metrics != nil {
+		o.Metrics[name] = v
+	}
 }
 
 // DefaultOptions returns laptop-scale settings.

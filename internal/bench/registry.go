@@ -32,6 +32,7 @@ var registry = []Experiment{
 	{"batchquery", "Extra: batched vs per-call queries (internal/query)", BatchQuery},
 	{"walrecovery", "Extra: crash recovery — snapshot + WAL replay (internal/wal)", WALRecovery},
 	{"retention", "Extra: durable retention — crash recovery with interleaved expires", Retention},
+	{"allocs", "Extra: hot-path allocation gate — 0 allocs/op + insert throughput", Allocs},
 }
 
 // Experiments lists all registered experiments in presentation order.

@@ -71,6 +71,7 @@ func Retention(o Options) error {
 			if err := retCrashRecover(ds, n, uint64(o.Seed), ref, exps, true); err != nil {
 				return err
 			}
+			o.record(fmt.Sprintf("%s_s%d_dropped", ds.Name, n), float64(dropped))
 			t.AddRow(ds.Name, fmt.Sprint(n), fmt.Sprint(len(ds.Stream)),
 				fmt.Sprint(len(exps)), fmt.Sprint(dropped), "byte-equal", "byte-equal")
 		}

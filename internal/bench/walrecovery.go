@@ -56,6 +56,7 @@ func WALRecovery(o Options) error {
 			if _, err := walCrashRecover(ds, n, uint64(o.Seed), ref, true); err != nil {
 				return err
 			}
+			o.record(fmt.Sprintf("%s_s%d_replay_eps", ds.Name, n), eps)
 			t.AddRow(ds.Name, fmt.Sprint(n), fmt.Sprint(len(ds.Stream)),
 				metrics.FormatEPS(eps), "byte-equal", "byte-equal")
 		}

@@ -1,0 +1,150 @@
+package core
+
+import "sync/atomic"
+
+// nodeID indexes a node inside the Summary's arena. IDs — not pointers —
+// are what tree links store, so the whole structure lives in a handful of
+// large slabs instead of one heap object per node.
+type nodeID int32
+
+// noKids marks a node without an allocated child block (leaves).
+const noKids int32 = -1
+
+const (
+	nodeChunkShift = 10
+	nodeChunkLen   = 1 << nodeChunkShift // nodes per chunk
+	nodeChunkMask  = nodeChunkLen - 1
+
+	minKidChunkLen = 4096 // child-index entries per chunk (≥ Theta)
+)
+
+// arena owns the node slab and the child-index slab of one Summary.
+//
+// Chunks are fixed-size arrays that never move once allocated, so a *node
+// obtained from the arena stays valid for the node's lifetime — the seal
+// workers and the spine hold raw pointers safely while the arena keeps
+// growing. Only the outer chunk directories change on growth; they are
+// published copy-on-write through atomic pointers because parallel seal
+// workers resolve child IDs concurrently with the insert goroutine
+// allocating new nodes.
+//
+// Children of a node occupy one Theta-stride block in the child-index slab
+// (every non-leaf has at most Theta children). Blocks are pow2-aligned
+// within pow2 chunks, so a block never straddles a chunk boundary.
+//
+// Allocation and free run only on the exclusive write path (insert,
+// Expire, decode); free lists recycle nodes and child blocks dropped by
+// Expire without synchronization beyond that exclusivity.
+type arena struct {
+	theta int // child block stride
+
+	nodes     atomic.Pointer[[]*[nodeChunkLen]node]
+	nextNode  nodeID
+	freeNodes []nodeID
+
+	kidChunkLen   int
+	kidChunkMask  int32
+	kids          atomic.Pointer[[][]int32]
+	nextKid       int32
+	freeKidBlocks []int32 // block base indices
+}
+
+func newArena(theta int) *arena {
+	a := &arena{theta: theta, kidChunkLen: minKidChunkLen}
+	for a.kidChunkLen < theta {
+		a.kidChunkLen <<= 1
+	}
+	a.kidChunkMask = int32(a.kidChunkLen - 1)
+	empty := []*[nodeChunkLen]node{}
+	a.nodes.Store(&empty)
+	emptyKids := [][]int32{}
+	a.kids.Store(&emptyKids)
+	return a
+}
+
+// node resolves an ID to its stable address. Safe to call concurrently
+// with allocation.
+func (a *arena) node(id nodeID) *node {
+	chunks := *a.nodes.Load()
+	return &chunks[id>>nodeChunkShift][id&nodeChunkMask]
+}
+
+// alloc returns a zeroed node. Write path only.
+func (a *arena) alloc() (nodeID, *node) {
+	if k := len(a.freeNodes); k > 0 {
+		id := a.freeNodes[k-1]
+		a.freeNodes = a.freeNodes[:k-1]
+		n := a.node(id)
+		*n = node{kidBase: noKids}
+		return id, n
+	}
+	id := a.nextNode
+	chunks := *a.nodes.Load()
+	if int(id)>>nodeChunkShift == len(chunks) {
+		grown := make([]*[nodeChunkLen]node, len(chunks)+1)
+		copy(grown, chunks)
+		grown[len(chunks)] = new([nodeChunkLen]node)
+		a.nodes.Store(&grown)
+		chunks = grown
+	}
+	a.nextNode++
+	n := &chunks[id>>nodeChunkShift][id&nodeChunkMask]
+	*n = node{kidBase: noKids}
+	return id, n
+}
+
+// freeNode recycles a node. The caller must guarantee nothing references
+// it anymore (Expire drains the seal workers first).
+func (a *arena) freeNode(id nodeID) {
+	a.freeNodes = append(a.freeNodes, id)
+}
+
+// allocKids returns the base of a zeroed Theta-stride child block.
+func (a *arena) allocKids() int32 {
+	if k := len(a.freeKidBlocks); k > 0 {
+		base := a.freeKidBlocks[k-1]
+		a.freeKidBlocks = a.freeKidBlocks[:k-1]
+		blk := a.kidBlock(base)
+		for i := range blk {
+			blk[i] = 0
+		}
+		return base
+	}
+	base := a.nextKid
+	chunks := *a.kids.Load()
+	if int(base)/a.kidChunkLen == len(chunks) {
+		grown := make([][]int32, len(chunks)+1)
+		copy(grown, chunks)
+		grown[len(chunks)] = make([]int32, a.kidChunkLen)
+		a.kids.Store(&grown)
+	}
+	a.nextKid += int32(a.theta)
+	return base
+}
+
+// freeKids recycles a child block.
+func (a *arena) freeKids(base int32) {
+	a.freeKidBlocks = append(a.freeKidBlocks, base)
+}
+
+// kidBlock returns the full Theta-stride block at base. Safe to call
+// concurrently with allocation.
+func (a *arena) kidBlock(base int32) []int32 {
+	chunks := *a.kids.Load()
+	c := chunks[base/int32(a.kidChunkLen)]
+	off := base & a.kidChunkMask
+	return c[off : off+int32(a.theta)]
+}
+
+// children returns the IDs of n's current children (read-only view).
+func (a *arena) children(n *node) []int32 {
+	if n.kidBase == noKids || n.nKids == 0 {
+		return nil
+	}
+	return a.kidBlock(n.kidBase)[:n.nKids]
+}
+
+// liveNodes reports how many nodes are currently allocated.
+func (a *arena) liveNodes() int {
+	return int(a.nextNode) - len(a.freeNodes)
+}

@@ -51,7 +51,7 @@ func (s *Summary) WriteTo(w io.Writer) (int64, error) {
 }
 
 func (s *Summary) encodeNode(w *wire.Writer, n *node) {
-	w.Int(n.level)
+	w.Int(int(n.level))
 	w.I64(n.firstT)
 	w.I64(n.lastT)
 	w.Bool(n.closed)
@@ -72,9 +72,10 @@ func (s *Summary) encodeNode(w *wire.Writer, n *node) {
 	if n.mat != nil {
 		n.mat.Encode(w)
 	}
-	w.Int(len(n.children))
-	for _, c := range n.children {
-		s.encodeNode(w, c)
+	kids := s.ar.children(n)
+	w.Int(len(kids))
+	for _, id := range kids {
+		s.encodeNode(w, s.ar.node(nodeID(id)))
 	}
 }
 
@@ -115,81 +116,82 @@ func Read(r io.Reader) (*Summary, error) {
 		return nil, fmt.Errorf("core: read snapshot state: %w", err)
 	}
 	if hasRoot {
-		root, err := decodeNode(rr)
+		rootID, root, err := s.decodeNode(rr)
 		if err != nil {
 			return nil, err
 		}
 		if err := rr.Err(); err != nil {
 			return nil, fmt.Errorf("core: read snapshot tree: %w", err)
 		}
-		s.root = root
+		s.root, s.rootID = root, rootID
 		s.rebuildSpine()
 	}
 	return s, nil
 }
 
-func decodeNode(r *wire.Reader) (*node, error) {
-	n := &node{
-		level:  r.Int(),
-		firstT: r.I64(),
-		lastT:  r.I64(),
-		closed: r.Bool(),
-	}
+func (s *Summary) decodeNode(r *wire.Reader) (nodeID, *node, error) {
+	id, n := s.ar.alloc()
+	n.level = int32(r.Int())
+	n.firstT = r.I64()
+	n.lastT = r.I64()
+	n.closed = r.Bool()
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("core: decode node: %w", err)
+		return 0, nil, fmt.Errorf("core: decode node: %w", err)
 	}
 	if n.level < 1 || n.level > 64 {
-		return nil, fmt.Errorf("core: decode node: implausible level %d", n.level)
+		return 0, nil, fmt.Errorf("core: decode node: implausible level %d", n.level)
 	}
 	if n.level == 1 {
 		m, err := matrix.Decode(r)
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		n.mat = m
 		nobs := r.Int()
 		if r.Err() == nil && nobs > 1<<24 {
-			return nil, fmt.Errorf("core: decode node: implausible overflow block count %d", nobs)
+			return 0, nil, fmt.Errorf("core: decode node: implausible overflow block count %d", nobs)
 		}
 		for i := 0; i < nobs; i++ {
 			ob, err := matrix.Decode(r)
 			if err != nil {
-				return nil, err
+				return 0, nil, err
 			}
 			n.obs = append(n.obs, ob)
 		}
 		if err := r.Err(); err != nil {
-			return nil, fmt.Errorf("core: decode leaf: %w", err)
+			return 0, nil, fmt.Errorf("core: decode leaf: %w", err)
 		}
-		return n, nil
+		return id, n, nil
 	}
 	if r.Bool() {
 		m, err := matrix.Decode(r)
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		n.mat = m
-		// The decoded matrix is final: neutralize the aggregation guard.
-		n.sealOnce.Do(func() {})
+		// The decoded matrix is final: mark the aggregation latch done.
+		n.sealState = sealDone
 	}
 	nc := r.Int()
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("core: decode node: %w", err)
+		return 0, nil, fmt.Errorf("core: decode node: %w", err)
 	}
-	if nc < 1 || nc > 1<<20 {
-		return nil, fmt.Errorf("core: decode node: implausible child count %d", nc)
+	if nc < 1 || nc > s.cfg.Theta {
+		return 0, nil, fmt.Errorf("core: decode node: implausible child count %d (θ=%d)", nc, s.cfg.Theta)
 	}
+	n.kidBase = s.ar.allocKids()
 	for i := 0; i < nc; i++ {
-		c, err := decodeNode(r)
+		cid, c, err := s.decodeNode(r)
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if c.level != n.level-1 {
-			return nil, fmt.Errorf("core: decode node: child level %d under level %d", c.level, n.level)
+			return 0, nil, fmt.Errorf("core: decode node: child level %d under level %d", c.level, n.level)
 		}
-		n.children = append(n.children, c)
+		s.ar.kidBlock(n.kidBase)[i] = int32(cid)
+		n.nKids = int32(i + 1)
 	}
-	return n, nil
+	return id, n, nil
 }
 
 // rebuildSpine repoints the open insertion path at the rightmost root-leaf
@@ -202,6 +204,7 @@ func (s *Summary) rebuildSpine() {
 		if n.level == 1 {
 			return
 		}
-		n = n.children[len(n.children)-1]
+		kids := s.ar.children(n)
+		n = s.ar.node(nodeID(kids[len(kids)-1]))
 	}
 }

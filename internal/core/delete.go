@@ -31,8 +31,9 @@ func (s *Summary) deleteRec(n *node, e stream.Edge, hs, hd uint64) bool {
 	// Search newest-first: streams revisit recent data most often, and
 	// duplicate boundary timestamps (possible with overflow blocks
 	// disabled) live in the newer sibling.
-	for i := len(n.children) - 1; i >= 0; i-- {
-		if s.deleteRec(n.children[i], e, hs, hd) {
+	kids := s.ar.children(n)
+	for i := len(kids) - 1; i >= 0; i-- {
+		if s.deleteRec(s.ar.node(nodeID(kids[i])), e, hs, hd) {
 			if n.closed {
 				s.sealNow(n)
 				fpS, baseS := split(hs, n.mat)

@@ -15,10 +15,20 @@ package core
 // reach before the cutoff. Callers enforcing a strict window should query
 // within [cutoff, now], where results are unaffected.
 //
+// Dropped subtrees are recycled in place: their matrix slabs go back to
+// the Summary's pool and their arena slots onto the free lists, so a
+// steady expire cadence makes ingest allocation-free — new leaves and
+// aggregates reuse the memory of the ones just dropped.
+//
 // Expire must not run concurrently with inserts or queries.
 func (s *Summary) Expire(cutoff int64) (leavesDropped int) {
 	if s.root == nil {
 		return 0
+	}
+	// Parallel seal workers may still hold nodes of subtrees about to be
+	// released; wait for them before recycling anything.
+	if s.workers != nil {
+		s.workers.drain()
 	}
 	dropped := s.expireNode(s.root, cutoff)
 	// The root may have degenerated to a single-child chain; keep the
@@ -38,40 +48,72 @@ func (s *Summary) expireNode(n *node, cutoff int64) int {
 	if n.level == 1 {
 		return 0
 	}
+	kids := s.ar.kidBlock(n.kidBase)[:n.nKids]
 	dropped := 0
-	keep := n.children[:0]
-	for _, c := range n.children {
+	keep := 0
+	var drops []nodeID
+	for _, raw := range kids {
+		id := nodeID(raw)
+		c := s.ar.node(id)
 		// Only closed nodes can be fully expired; the open spine is the
 		// newest data by construction.
 		if c.closed && c.lastT < cutoff {
-			dropped += countLeaves(c)
+			dropped += s.countLeaves(c)
+			drops = append(drops, id)
 			continue
 		}
 		if c.firstT < cutoff {
 			dropped += s.expireNode(c, cutoff)
 		}
-		keep = append(keep, c)
+		kids[keep] = raw
+		keep++
 	}
 	// Never leave a non-leaf childless: retain the youngest child even if
 	// expired, so the tree stays navigable.
-	if len(keep) == 0 {
-		keep = append(keep, n.children[len(n.children)-1])
-		dropped -= countLeaves(keep[0])
+	if keep == 0 {
+		last := drops[len(drops)-1]
+		drops = drops[:len(drops)-1]
+		kids[0] = int32(last)
+		keep = 1
+		dropped -= s.countLeaves(s.ar.node(last))
 	}
-	n.children = keep
+	n.nKids = int32(keep)
+	for _, id := range drops {
+		s.releaseSubtree(id)
+	}
 	if n.firstT < cutoff {
-		n.firstT = keep[0].firstT
+		n.firstT = s.ar.node(nodeID(kids[0])).firstT
 	}
 	return dropped
 }
 
-func countLeaves(n *node) int {
+// releaseSubtree returns every matrix slab of the subtree to the pool and
+// every node and child block to the arena free lists. The caller must
+// guarantee exclusivity (workers drained, no concurrent queries).
+func (s *Summary) releaseSubtree(id nodeID) {
+	n := s.ar.node(id)
+	if n.level > 1 {
+		for _, kid := range s.ar.children(n) {
+			s.releaseSubtree(nodeID(kid))
+		}
+		s.ar.freeKids(n.kidBase)
+	}
+	if n.mat != nil {
+		n.mat.Release(s.pool)
+	}
+	for _, ob := range n.obs {
+		ob.Release(s.pool)
+	}
+	s.ar.freeNode(id)
+}
+
+func (s *Summary) countLeaves(n *node) int {
 	if n.level == 1 {
 		return 1
 	}
 	total := 0
-	for _, c := range n.children {
-		total += countLeaves(c)
+	for _, id := range s.ar.children(n) {
+		total += s.countLeaves(s.ar.node(nodeID(id)))
 	}
 	return total
 }

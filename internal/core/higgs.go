@@ -16,12 +16,20 @@ import (
 // multiple goroutines, with one exception: when Config.Parallel is set, the
 // internal aggregation workers run concurrently with insertions, and
 // queries may run concurrently with each other once insertion has finished.
+//
+// All tree nodes live in an arena owned by the Summary (see arena.go) and
+// matrix slabs draw from a pool that Expire refills, so steady-state ingest
+// allocates nothing per edge.
 type Summary struct {
 	cfg Config
 	rb  uint // R: fingerprint bits promoted per level
 	h   hashing.Hasher
 
+	ar   *arena
+	pool *matrix.Pool
+
 	root      *node
+	rootID    nodeID
 	spine     []*node // open path; spine[i] has level i+1, spine[0] = active leaf
 	lastT     int64
 	items     int64
@@ -39,7 +47,13 @@ func New(cfg Config) (*Summary, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Summary{cfg: cfg, rb: cfg.rbits(), h: hashing.NewHasher(cfg.Seed)}
+	s := &Summary{
+		cfg:  cfg,
+		rb:   cfg.rbits(),
+		h:    hashing.NewHasher(cfg.Seed),
+		ar:   newArena(cfg.Theta),
+		pool: matrix.NewPool(),
+	}
 	if cfg.Parallel {
 		s.workers = newSealWorkers(s)
 	}
@@ -67,13 +81,17 @@ func (s *Summary) leafCfg() matrix.Config {
 }
 
 // newLeaf allocates a leaf node anchored at time t.
-func (s *Summary) newLeaf(t int64) *node {
-	m, err := matrix.New(s.leafCfg(), t)
+func (s *Summary) newLeaf(t int64) (nodeID, *node) {
+	m, err := matrix.NewIn(s.pool, s.leafCfg(), t)
 	if err != nil {
 		panic(fmt.Sprintf("core: leaf config invalid: %v", err)) // validated in New
 	}
 	s.leaves++
-	return &node{level: 1, firstT: t, lastT: t, mat: m}
+	id, n := s.ar.alloc()
+	n.level = 1
+	n.firstT, n.lastT = t, t
+	n.mat = m
+	return id, n
 }
 
 // split computes the fingerprint/address pair of a hash at the geometry of
@@ -91,9 +109,9 @@ func (s *Summary) Insert(e stream.Edge) {
 		return
 	}
 	if s.root == nil {
-		leaf := s.newLeaf(e.T)
-		s.root = leaf
-		s.spine = []*node{leaf}
+		id, leaf := s.newLeaf(e.T)
+		s.root, s.rootID = leaf, id
+		s.spine = append(s.spine[:0], leaf)
 		s.lastT = e.T
 	}
 	if e.T < s.lastT {
@@ -126,7 +144,7 @@ func (s *Summary) Insert(e stream.Edge) {
 		}
 		obCfg := s.leafCfg()
 		obCfg.B = s.cfg.OBBucket
-		ob, err := matrix.New(obCfg, e.T)
+		ob, err := matrix.NewIn(s.pool, obCfg, e.T)
 		if err != nil {
 			panic(fmt.Sprintf("core: overflow block config invalid: %v", err))
 		}
@@ -138,34 +156,37 @@ func (s *Summary) Insert(e stream.Edge) {
 	}
 
 	leaf.closed = true
-	nl := s.newLeaf(e.T)
+	nlID, nl := s.newLeaf(e.T)
 	nl.mat.Add(fpS, baseS, fpD, baseD, 0, e.W) // empty matrix: cannot fail
-	s.attach(nl)
+	s.attach(nlID, nl)
 	s.items++
 }
 
 // attach links a freshly opened node (a new leaf or a filler wrapping one)
 // into the open spine, sealing full ancestors and growing the root as
 // needed — the upward timestamp transmission of Algorithm 1.
-func (s *Summary) attach(child *node) {
+func (s *Summary) attach(childID nodeID, child *node) {
 	for {
-		parentIdx := child.level // spine[i] has level i+1
+		parentIdx := int(child.level) // spine[i] has level i+1
 		if parentIdx >= len(s.spine) {
 			// The root itself is full: grow the tree by one level.
-			oldRoot := s.root
-			newRoot := &node{
-				level:    child.level + 1,
-				firstT:   oldRoot.firstT,
-				children: []*node{oldRoot, child},
-			}
+			oldRoot, oldRootID := s.root, s.rootID
+			id, newRoot := s.ar.alloc()
+			newRoot.level = child.level + 1
+			newRoot.firstT = oldRoot.firstT
+			newRoot.kidBase = s.ar.allocKids()
+			blk := s.ar.kidBlock(newRoot.kidBase)
+			blk[0], blk[1] = int32(oldRootID), int32(childID)
+			newRoot.nKids = 2
 			s.spine = append(s.spine, newRoot)
-			s.root = newRoot
+			s.root, s.rootID = newRoot, id
 			s.setSpineBelow(child)
 			return
 		}
 		parent := s.spine[parentIdx]
-		if len(parent.children) < s.cfg.Theta {
-			parent.children = append(parent.children, child)
+		if int(parent.nKids) < s.cfg.Theta {
+			s.ar.kidBlock(parent.kidBase)[parent.nKids] = int32(childID)
+			parent.nKids++
 			s.setSpineBelow(child)
 			return
 		}
@@ -173,9 +194,14 @@ func (s *Summary) attach(child *node) {
 		// filler node (keeps all leaves on the bottom layer) and continue
 		// one level up.
 		s.closeAndSeal(parent)
-		filler := &node{level: parent.level, firstT: child.firstT, children: []*node{child}}
+		fid, filler := s.ar.alloc()
+		filler.level = parent.level
+		filler.firstT = child.firstT
+		filler.kidBase = s.ar.allocKids()
+		s.ar.kidBlock(filler.kidBase)[0] = int32(childID)
+		filler.nKids = 1
 		s.spine[parentIdx] = filler
-		child = filler
+		childID, child = fid, filler
 	}
 }
 
@@ -188,7 +214,8 @@ func (s *Summary) setSpineBelow(child *node) {
 		if n.level == 1 {
 			return
 		}
-		n = n.children[len(n.children)-1]
+		kids := s.ar.children(n)
+		n = s.ar.node(nodeID(kids[len(kids)-1]))
 	}
 }
 
@@ -196,7 +223,8 @@ func (s *Summary) setSpineBelow(child *node) {
 // inline or on the level worker depending on Config.Parallel.
 func (s *Summary) closeAndSeal(n *node) {
 	n.closed = true
-	n.lastT = n.children[len(n.children)-1].lastT
+	kids := s.ar.children(n)
+	n.lastT = s.ar.node(nodeID(kids[len(kids)-1])).lastT
 	if s.workers != nil {
 		s.workers.schedule(n)
 		return
@@ -218,7 +246,8 @@ func (s *Summary) Finalize() {
 		if n.level == 1 {
 			continue
 		}
-		n.lastT = n.children[len(n.children)-1].lastT
+		kids := s.ar.children(n)
+		n.lastT = s.ar.node(nodeID(kids[len(kids)-1])).lastT
 	}
 	if s.workers != nil {
 		s.workers.drain()
@@ -228,8 +257,8 @@ func (s *Summary) Finalize() {
 		if n.level == 1 {
 			return
 		}
-		for _, c := range n.children {
-			sealAll(c)
+		for _, id := range s.ar.children(n) {
+			sealAll(s.ar.node(nodeID(id)))
 		}
 		s.sealNow(n)
 	}

@@ -152,30 +152,31 @@ func TestTreeGrowth(t *testing.T) {
 		t.Fatalf("tree height %d; want ≥ 3", s.Layers())
 	}
 	// Structural invariants.
-	var walk func(n *node, level int)
-	walk = func(n *node, level int) {
+	var walk func(n *node, level int32)
+	walk = func(n *node, level int32) {
 		if n.level != level {
 			t.Fatalf("node at level %d recorded level %d", level, n.level)
 		}
+		kids := s.ar.children(n)
 		if n.level == 1 {
 			if n.mat == nil {
 				t.Fatal("leaf without matrix")
 			}
-			if len(n.children) != 0 {
+			if len(kids) != 0 {
 				t.Fatal("leaf with children")
 			}
 			return
 		}
-		if len(n.children) == 0 || len(n.children) > s.cfg.Theta {
-			t.Fatalf("level-%d node has %d children (θ=%d)", n.level, len(n.children), s.cfg.Theta)
+		if len(kids) == 0 || len(kids) > s.cfg.Theta {
+			t.Fatalf("level-%d node has %d children (θ=%d)", n.level, len(kids), s.cfg.Theta)
 		}
-		for i := 1; i < len(n.children); i++ {
-			if n.children[i].firstT < n.children[i-1].firstT {
+		for i := 1; i < len(kids); i++ {
+			if s.ar.node(nodeID(kids[i])).firstT < s.ar.node(nodeID(kids[i-1])).firstT {
 				t.Fatalf("children out of time order at level %d", n.level)
 			}
 		}
-		for _, c := range n.children {
-			walk(c, level-1)
+		for _, id := range kids {
+			walk(s.ar.node(nodeID(id)), level-1)
 		}
 	}
 	walk(s.root, s.root.level)

@@ -2,29 +2,45 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"higgs/internal/matrix"
 )
 
-// node is one HIGGS tree node. Leaves (level 1) own a timed compressed
-// matrix filled directly from the stream, plus optional overflow blocks.
-// Non-leaf nodes own an untimed aggregate matrix built when the node seals.
+// node is one HIGGS tree node, stored by value inside the Summary's arena.
+// Leaves (level 1) own a timed compressed matrix filled directly from the
+// stream, plus optional overflow blocks. Non-leaf nodes own an untimed
+// aggregate matrix built when the node seals.
+//
+// Children are recorded as a range into the arena's child-index slab:
+// kidBase is the node's Theta-stride block, nKids the occupied prefix.
 //
 // Mutation happens only on the insertion path; once a node is closed its
-// subtree is immutable except for the one-shot aggregation guarded by
-// sealOnce (safe to race between queries and the parallel seal worker) and
-// for deletions, which the caller must not run concurrently with queries.
+// subtree is immutable except for the one-shot aggregation guarded by the
+// sealState latch (safe to race between queries and the parallel seal
+// worker) and for deletions, which the caller must not run concurrently
+// with queries.
 type node struct {
-	level    int   // 1 = leaf
-	firstT   int64 // earliest timestamp in the subtree
-	lastT    int64 // latest timestamp; valid once closed
-	closed   bool  // no further edges will enter this subtree
-	children []*node
-	mat      *matrix.Matrix   // leaf: from construction; non-leaf: after seal
-	obs      []*matrix.Matrix // leaf overflow blocks
-	sealOnce sync.Once
+	firstT    int64            // earliest timestamp in the subtree
+	lastT     int64            // latest timestamp; valid once closed
+	mat       *matrix.Matrix   // leaf: from construction; non-leaf: after seal
+	obs       []*matrix.Matrix // leaf overflow blocks
+	kidBase   int32            // child block base in the arena; noKids for leaves
+	nKids     int32
+	level     int32  // 1 = leaf
+	sealState uint32 // atomic: sealPending → sealRunning → sealDone
+	closed    bool   // no further edges will enter this subtree
 }
+
+// Seal latch states. A plain uint32 driven by the atomic package (rather
+// than sync.Once or atomic.Uint32) so arena slots can be reset and reused
+// by value without tripping copylocks.
+const (
+	sealPending uint32 = iota
+	sealRunning
+	sealDone
+)
 
 // last returns the node's effective latest timestamp: frozen once closed,
 // the stream's current time while still open.
@@ -36,13 +52,34 @@ func (n *node) last(streamLast int64) int64 {
 }
 
 // sealNow builds the aggregate matrix of a non-leaf node exactly once. It
-// recursively forces children first, so it is safe to call in any order
-// (the parallel workers and queries may race; sync.Once arbitrates).
+// recursively forces children first, so it is safe to call in any order.
+// The parallel workers and queries may race; the sealState CAS arbitrates:
+// exactly one caller builds, the rest spin until the winner publishes the
+// matrix with the sealDone store (atomic release/acquire pairing makes
+// n.mat safe to read afterwards).
 func (s *Summary) sealNow(n *node) {
 	if n.level == 1 {
 		return
 	}
-	n.sealOnce.Do(func() { s.buildAggregate(n) })
+	for {
+		switch atomic.LoadUint32(&n.sealState) {
+		case sealDone:
+			return
+		case sealPending:
+			if atomic.CompareAndSwapUint32(&n.sealState, sealPending, sealRunning) {
+				s.buildAggregate(n)
+				atomic.StoreUint32(&n.sealState, sealDone)
+				return
+			}
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// sealed reports whether the node's aggregate has been published.
+func (n *node) sealed() bool {
+	return atomic.LoadUint32(&n.sealState) == sealDone
 }
 
 // buildAggregate implements paper Algorithm 2: allocate a √θ·d × √θ·d
@@ -51,12 +88,14 @@ func (s *Summary) sealNow(n *node) {
 // absorbed alongside the main leaf matrices. Entries that cannot be placed
 // go to the parent matrix's spill list with full fidelity (DESIGN.md §3.4).
 func (s *Summary) buildAggregate(n *node) {
-	for _, c := range n.children {
-		if c.level > 1 {
-			s.sealNow(c)
+	kids := s.ar.children(n)
+	first := s.ar.node(nodeID(kids[0]))
+	if first.level > 1 {
+		for _, id := range kids {
+			s.sealNow(s.ar.node(nodeID(id)))
 		}
 	}
-	ccfg := n.children[0].mat.Cfg()
+	ccfg := first.mat.Cfg()
 	rb := s.rb
 	// Fingerprints cannot shrink below one bit; once exhausted the matrix
 	// stops growing and relies on the spill list.
@@ -69,13 +108,14 @@ func (s *Summary) buildAggregate(n *node) {
 		Maps:  s.cfg.Maps,
 		FBits: ccfg.FBits - rb,
 	}
-	m, err := matrix.New(pcfg, 0)
+	m, err := matrix.NewIn(s.pool, pcfg, 0)
 	if err != nil {
 		// pcfg derives from a validated Config; failure is a programming
 		// error in this package, not a caller mistake.
 		panic(fmt.Sprintf("core: internal aggregate config invalid: %v", err))
 	}
-	for _, c := range n.children {
+	for _, id := range kids {
+		c := s.ar.node(nodeID(id))
 		if err := m.Absorb(c.mat); err != nil {
 			panic(fmt.Sprintf("core: absorb: %v", err))
 		}

@@ -10,14 +10,14 @@ import "sync"
 type sealWorkers struct {
 	s       *Summary
 	mu      sync.Mutex
-	chans   map[int]chan *node
+	chans   map[int32]chan *node
 	jobs    sync.WaitGroup // outstanding scheduled seals
 	runners sync.WaitGroup // live worker goroutines
 	stopped bool
 }
 
 func newSealWorkers(s *Summary) *sealWorkers {
-	return &sealWorkers{s: s, chans: make(map[int]chan *node)}
+	return &sealWorkers{s: s, chans: make(map[int32]chan *node)}
 }
 
 // schedule hands a closed node to its level worker; if the worker's queue

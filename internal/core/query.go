@@ -27,8 +27,8 @@ func (s *Summary) collect(n *node, ts, te int64, visit visitFn) {
 			visit(n.mat, math.MinInt64, math.MaxInt64)
 			return
 		}
-		for _, c := range n.children {
-			s.collect(c, ts, te, visit)
+		for _, id := range s.ar.children(n) {
+			s.collect(s.ar.node(nodeID(id)), ts, te, visit)
 		}
 		return
 	}

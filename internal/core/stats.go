@@ -32,7 +32,7 @@ func (s *Summary) Stats() Stats {
 	if s.root == nil {
 		return st
 	}
-	st.Layers = s.root.level
+	st.Layers = int(s.root.level)
 	var utilSum float64
 	var walk func(n *node)
 	walk = func(n *node) {
@@ -49,7 +49,8 @@ func (s *Summary) Stats() Stats {
 			return
 		}
 		// Keys: k−1 separator timestamps, 64 bits each (paper's I term).
-		if k := len(n.children); k > 1 {
+		kids := s.ar.children(n)
+		if k := len(kids); k > 1 {
 			st.SpaceBytes += int64(k-1) * 8
 			st.HeapBytes += int64(k-1) * 8
 		}
@@ -62,8 +63,8 @@ func (s *Summary) Stats() Stats {
 			st.SpaceBytes += n.mat.SpaceBytes()
 			st.HeapBytes += n.mat.HeapBytes()
 		}
-		for _, c := range n.children {
-			walk(c)
+		for _, id := range kids {
+			walk(s.ar.node(nodeID(id)))
 		}
 	}
 	walk(s.root)
@@ -90,5 +91,5 @@ func (s *Summary) Layers() int {
 	if s.root == nil {
 		return 0
 	}
-	return s.root.level
+	return int(s.root.level)
 }

@@ -30,7 +30,6 @@ package ingest
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -209,6 +208,7 @@ type Pipeline struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 	once   sync.Once
+	gpool  sync.Pool // recycled *batchGroups grouping scratch
 
 	// applyHook, when non-nil, runs in the committer just before each
 	// group is applied. Test-only: set after New and before the first
@@ -293,31 +293,74 @@ func (p *Pipeline) Submit(edges []stream.Edge) (applied bool, err error) {
 	if len(edges) == 1 {
 		return false, p.enqueueOne(p.sum.ShardFor(edges[0].S), edges[0], 0)
 	}
-	groups, _ := p.group(edges)
-	if p.cfg.Mode == ModeAuto && len(edges) >= p.cfg.SyncThreshold && p.idle(groups) {
+	g := p.getGroups()
+	defer p.putGroups(g)
+	p.group(g, edges)
+	if p.cfg.Mode == ModeAuto && len(edges) >= p.cfg.SyncThreshold && p.idle(g) {
 		// Apply the groups already built rather than InsertBatch, which
 		// would re-hash and re-group every edge.
-		for i, g := range groups {
-			p.sum.InsertShard(i, g)
+		for i, run := range g.edges {
+			if len(run) > 0 {
+				p.sum.InsertShard(i, run)
+			}
 		}
 		return true, nil
 	}
-	return false, p.enqueueGroups(groups, nil)
+	return false, p.enqueueGroups(g)
 }
 
-// group partitions a batch by target shard, preserving relative order, and
-// records the original index of each group's last edge — what the WAL path
-// needs to derive per-shard maximum sequence numbers from the record's
-// first.
-func (p *Pipeline) group(edges []stream.Edge) (groups map[int][]stream.Edge, lastIdx map[int]int) {
-	groups = make(map[int][]stream.Edge)
-	lastIdx = make(map[int]int)
+// batchGroups is the reusable per-submit scratch of the grouping stage:
+// per-shard edge runs, the original index of each run's last edge, WAL
+// sequence marks, and committer kick flags, all indexed by shard. A shard
+// is targeted by the batch iff lastIdx[i] >= 0 (equivalently, its run is
+// non-empty). Instances recycle through Pipeline.gpool and the runs keep
+// their capacity across submits, so steady-state grouping allocates
+// nothing.
+//
+// Ownership: a batchGroups belongs to the submitting goroutine only until
+// enqueueGroups / InsertShard* return — both copy the edges onward (queue
+// buffers, shard matrices) and retain nothing, which is what makes
+// immediate reuse after Submit safe.
+type batchGroups struct {
+	edges   [][]stream.Edge
+	lastIdx []int
+	seqs    []uint64
+	kicks   []bool
+}
+
+// getGroups returns a reset batchGroups sized for the summary's shards.
+func (p *Pipeline) getGroups() *batchGroups {
+	g, _ := p.gpool.Get().(*batchGroups)
+	n := p.sum.NumShards()
+	if g == nil || len(g.edges) != n {
+		g = &batchGroups{
+			edges:   make([][]stream.Edge, n),
+			lastIdx: make([]int, n),
+			seqs:    make([]uint64, n),
+			kicks:   make([]bool, n),
+		}
+	}
+	for i := range g.edges {
+		g.edges[i] = g.edges[i][:0]
+		g.lastIdx[i] = -1
+		g.seqs[i] = 0
+		g.kicks[i] = false
+	}
+	return g
+}
+
+func (p *Pipeline) putGroups(g *batchGroups) { p.gpool.Put(g) }
+
+// group partitions a batch by target shard into g, preserving relative
+// order, and records the original index of each group's last edge — what
+// the WAL path needs to derive per-shard maximum sequence numbers from the
+// record's first.
+func (p *Pipeline) group(g *batchGroups, edges []stream.Edge) {
 	for j, e := range edges {
 		i := p.sum.ShardFor(e.S)
-		groups[i] = append(groups[i], e)
-		lastIdx[i] = j
+		g.edges[i] = append(g.edges[i], e)
+		g.lastIdx[i] = j
 	}
-	return groups, lastIdx
 }
 
 // submitWAL is Submit's durable path: the batch is delivered (applied or
@@ -329,11 +372,14 @@ func (p *Pipeline) group(edges []stream.Edge) (groups map[int][]stream.Edge, las
 // for this process's lifetime but will not survive a crash, and the log's
 // sticky error makes every later Submit fail the same way.
 func (p *Pipeline) submitWAL(edges []stream.Edge) (applied bool, err error) {
-	groups, lastIdx := p.group(edges)
+	g := p.getGroups()
+	defer p.putGroups(g)
+	p.group(g, edges)
 	last, err := p.wal.Append(edges, func(first uint64) error {
-		seqs := make(map[int]uint64, len(lastIdx))
-		for i, li := range lastIdx {
-			seqs[i] = first + uint64(li)
+		for i, li := range g.lastIdx {
+			if li >= 0 {
+				g.seqs[i] = first + uint64(li)
+			}
 		}
 		// The sync paths (sync mode; auto mode's large batches) may apply
 		// directly only when every target queue is empty: enqueues happen
@@ -341,14 +387,16 @@ func (p *Pipeline) submitWAL(edges []stream.Edge) (applied bool, err error) {
 		// lower sequence is waiting" before we apply — the property that
 		// keeps per-shard applies in sequence order.
 		if p.cfg.Mode == ModeSync ||
-			(p.cfg.Mode == ModeAuto && len(edges) >= p.cfg.SyncThreshold && p.idle(groups)) {
-			for i, g := range groups {
-				p.sum.InsertShardAt(i, g, seqs[i])
+			(p.cfg.Mode == ModeAuto && len(edges) >= p.cfg.SyncThreshold && p.idle(g)) {
+			for i, run := range g.edges {
+				if len(run) > 0 {
+					p.sum.InsertShardAt(i, run, g.seqs[i])
+				}
 			}
 			applied = true
 			return nil
 		}
-		return p.enqueueGroups(groups, seqs)
+		return p.enqueueGroups(g)
 	})
 	if err != nil {
 		return applied, err
@@ -360,11 +408,14 @@ func (p *Pipeline) submitWAL(edges []stream.Edge) (applied bool, err error) {
 // — the condition under which a synchronous apply cannot overtake queued
 // edges from the same sequential client (and, on the WAL path, cannot
 // overtake a lower sequence number).
-func (p *Pipeline) idle(groups map[int][]stream.Edge) bool {
+func (p *Pipeline) idle(g *batchGroups) bool {
 	if p.queues == nil {
 		return true
 	}
-	for i := range groups {
+	for i, li := range g.lastIdx {
+		if li < 0 {
+			continue
+		}
 		q := p.queues[i]
 		q.mu.Lock()
 		pending := q.enqueued - q.applied
@@ -421,44 +472,48 @@ func (p *Pipeline) enqueueOne(i int, e stream.Edge, seq uint64) error {
 // is anything appended. A rejected batch leaves no partial state, so a 429
 // retry cannot double-insert. seqs, when non-nil, carries each group's
 // highest WAL sequence number and advances the queues' walSeq marks.
-func (p *Pipeline) enqueueGroups(groups map[int][]stream.Edge, seqs map[int]uint64) error {
-	idx := make([]int, 0, len(groups))
-	for i := range groups {
-		idx = append(idx, i)
+func (p *Pipeline) enqueueGroups(g *batchGroups) error {
+	// Ascending shard order (deadlock-free against concurrent multi-shard
+	// submits) falls out of indexing by shard.
+	unlockTo := func(limit int) {
+		for i := 0; i < limit; i++ {
+			if len(g.edges[i]) > 0 {
+				p.queues[i].mu.Unlock()
+			}
+		}
 	}
-	sort.Ints(idx)
-	for _, i := range idx {
-		p.queues[i].mu.Lock()
-	}
-	unlock := func() {
-		for _, i := range idx {
-			p.queues[i].mu.Unlock()
+	n := len(g.edges)
+	for i, run := range g.edges {
+		if len(run) > 0 {
+			p.queues[i].mu.Lock()
 		}
 	}
 	if p.closed.Load() {
-		unlock()
+		unlockTo(n)
 		return ErrClosed
 	}
-	for _, i := range idx {
-		if !p.fits(p.queues[i], len(groups[i])) {
-			unlock()
+	for i, run := range g.edges {
+		if len(run) > 0 && !p.fits(p.queues[i], len(run)) {
+			unlockTo(n)
 			return ErrQueueFull
 		}
 	}
-	kicks := make([]bool, 0, len(idx))
-	for _, i := range idx {
+	for i, run := range g.edges {
+		if len(run) == 0 {
+			continue
+		}
 		q := p.queues[i]
 		wasEmpty := len(q.buf) == 0
-		q.buf = append(q.buf, groups[i]...)
-		q.enqueued += uint64(len(groups[i]))
-		if s := seqs[i]; s > q.walSeq {
+		q.buf = append(q.buf, run...)
+		q.enqueued += uint64(len(run))
+		if s := g.seqs[i]; s > q.walSeq {
 			q.walSeq = s
 		}
-		kicks = append(kicks, wasEmpty || len(q.buf) >= p.cfg.QueueDepth)
+		g.kicks[i] = wasEmpty || len(q.buf) >= p.cfg.QueueDepth
 	}
-	unlock()
-	for k, i := range idx {
-		if kicks[k] {
+	unlockTo(n)
+	for i, kick := range g.kicks {
+		if kick {
 			p.queues[i].kickCommitter()
 		}
 	}

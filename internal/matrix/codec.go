@@ -97,6 +97,22 @@ func Decode(r *wire.Reader) (*Matrix, error) {
 		e.used = true
 	}
 	m.count = count
+	// Rebuild the per-bucket occupancy prefix. Matrices written by Encode
+	// always fill buckets front to back; a gap means a corrupted or
+	// hand-crafted snapshot, which probe fast paths must not trust.
+	for bkt := range m.fills {
+		base := bkt * m.cfg.B
+		fill := 0
+		for k := 0; k < m.cfg.B; k++ {
+			if m.slots[base+k].used {
+				if k != fill {
+					return nil, fmt.Errorf("matrix: decode: bucket %d occupancy is not a prefix", bkt)
+				}
+				fill++
+			}
+		}
+		m.fills[bkt] = uint8(fill)
+	}
 	nspill := r.Int()
 	if r.Err() == nil && nspill > 1<<28 {
 		return nil, fmt.Errorf("matrix: decode: implausible spill count %d", nspill)

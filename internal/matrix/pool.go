@@ -1,0 +1,83 @@
+package matrix
+
+import "sync"
+
+// Pool recycles matrix slab backing ([]slot plus the matching []uint8 fill
+// array) across matrix lifetimes, keyed by exact slot count. A HIGGS tree
+// only ever uses a handful of distinct geometries — the leaf matrix, the
+// overflow-block matrix, and one aggregate size per level — so an exact-size
+// class map stays tiny while letting Expire hand the memory of dropped
+// subtrees straight back to the insert path.
+//
+// Slabs are zeroed on Put, so Get returns ready-to-use backing without a
+// memclr on the hot path. Pool is safe for concurrent use: parallel seal
+// workers allocate aggregates while the insert goroutine opens leaves.
+type Pool struct {
+	mu      sync.Mutex
+	classes map[int][]slab
+}
+
+type slab struct {
+	slots []slot
+	fills []uint8
+}
+
+// maxSlabsPerClass bounds retained memory per size class; beyond it Put
+// drops the slab for the GC.
+const maxSlabsPerClass = 4
+
+// NewPool returns an empty slab pool.
+func NewPool() *Pool {
+	return &Pool{classes: make(map[int][]slab)}
+}
+
+// get returns a zeroed slot slab of exactly n slots and its fill array
+// (n/b buckets), reusing pooled backing when available.
+func (p *Pool) get(n, b int) ([]slot, []uint8) {
+	if p != nil {
+		p.mu.Lock()
+		if ss := p.classes[n]; len(ss) > 0 {
+			s := ss[len(ss)-1]
+			p.classes[n] = ss[:len(ss)-1]
+			p.mu.Unlock()
+			if len(s.fills) == n/b {
+				return s.slots, s.fills
+			}
+			// Same slot count under a different bucket size: reshape the
+			// fill array, keep the (already zeroed) slot slab.
+			return s.slots, make([]uint8, n/b)
+		}
+		p.mu.Unlock()
+	}
+	return make([]slot, n), make([]uint8, n/b)
+}
+
+// put zeroes the slab and retains it for reuse, up to the per-class cap.
+func (p *Pool) put(slots []slot, fills []uint8) {
+	if p == nil || slots == nil {
+		return
+	}
+	clear(slots)
+	clear(fills)
+	n := len(slots)
+	p.mu.Lock()
+	if len(p.classes[n]) < maxSlabsPerClass {
+		p.classes[n] = append(p.classes[n], slab{slots: slots, fills: fills})
+	}
+	p.mu.Unlock()
+}
+
+// Stats reports the pooled slab inventory: number of retained slabs and
+// their total slot-backing bytes.
+func (p *Pool) Stats() (slabs int, bytes int64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for n, ss := range p.classes {
+		slabs += len(ss)
+		bytes += int64(len(ss)) * int64(n) * 24
+	}
+	return slabs, bytes
+}

@@ -54,8 +54,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"higgs/internal/ingest"
@@ -248,13 +250,15 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	batch, err := decodeBatch(r)
+	b, err := decodeBatch(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		httpError(w, decodeStatus(err), "decode: %v", err)
 		return
 	}
-	s.summary().InsertBatch(batch)
-	writeJSON(w, map[string]int{"inserted": len(batch)})
+	n := len(b.batch)
+	s.summary().InsertBatch(b.batch)
+	putBatch(b)
+	writeJSON(w, map[string]int{"inserted": n})
 }
 
 // handleIngest accepts a JSON array of edges through the group-commit
@@ -268,12 +272,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	batch, err := decodeBatch(r)
+	b, err := decodeBatch(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		httpError(w, decodeStatus(err), "decode: %v", err)
 		return
 	}
-	applied, err := s.pipeline().Submit(batch)
+	n := len(b.batch)
+	applied, err := s.pipeline().Submit(b.batch)
+	putBatch(b)
 	switch {
 	case errors.Is(err, ingest.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -283,9 +289,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, "ingest: %v", err)
 	case applied:
-		writeJSON(w, map[string]int{"inserted": len(batch)})
+		writeJSON(w, map[string]int{"inserted": n})
 	default:
-		writeJSONStatus(w, http.StatusAccepted, map[string]int{"accepted": len(batch)})
+		writeJSONStatus(w, http.StatusAccepted, map[string]int{"accepted": n})
 	}
 }
 
@@ -321,10 +327,10 @@ func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req expireRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		httpError(w, decodeStatus(err), "decode: %v", err)
 		return
 	}
 	dropped, err := s.pipeline().Expire(req.Cutoff)
@@ -338,20 +344,59 @@ func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// decodeBatch reads a request body holding a JSON array of edges into the
-// stream representation both write endpoints insert.
-func decodeBatch(r *http.Request) ([]stream.Edge, error) {
-	dec := json.NewDecoder(r.Body)
+// batchBuf is the reusable decode scratch of the write endpoints: the JSON
+// shape and the stream shape of one batch. Both slices keep their capacity
+// across requests, so a steady stream of similar-sized batches decodes
+// without growing either.
+//
+// Ownership: the buffers belong to the handler only until the insert path
+// returns — InsertBatch applies the edges into shard matrices and
+// Pipeline.Submit copies them onward (WAL frame bytes, queue buffers)
+// before returning — which is what makes putBatch safe immediately after.
+type batchBuf struct {
+	edges []Edge
+	batch []stream.Edge
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchBuf) }}
+
+func putBatch(b *batchBuf) {
+	b.edges = b.edges[:0]
+	b.batch = b.batch[:0]
+	batchPool.Put(b)
+}
+
+// decodeBatch reads a request body holding a JSON array of edges into
+// pooled decode scratch, capped at maxBatchBody via http.MaxBytesReader
+// (the caller maps *http.MaxBytesError to 413). The caller must putBatch
+// the returned buffer once the batch has been handed to the insert path.
+func decodeBatch(w http.ResponseWriter, r *http.Request) (*batchBuf, error) {
+	b := batchPool.Get().(*batchBuf)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
 	dec.DisallowUnknownFields()
-	var edges []Edge
-	if err := dec.Decode(&edges); err != nil {
+	b.edges = b.edges[:0]
+	if err := dec.Decode(&b.edges); err != nil {
+		putBatch(b)
 		return nil, fmt.Errorf("body must be a JSON array of edges: %w", err)
 	}
-	batch := make([]stream.Edge, len(edges))
-	for i, e := range edges {
-		batch[i] = stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T}
+	if cap(b.batch) < len(b.edges) {
+		b.batch = make([]stream.Edge, len(b.edges))
 	}
-	return batch, nil
+	b.batch = b.batch[:len(b.edges)]
+	for i, e := range b.edges {
+		b.batch[i] = stream.Edge{S: e.S, D: e.D, W: e.W, T: e.T}
+	}
+	return b, nil
+}
+
+// decodeStatus maps a decode error to its status code: 413 when the body
+// cap tripped, 400 otherwise.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -491,8 +536,15 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 const maxBatchQueries = 65536
 
 // maxBatchBody bounds the /v2/query request body (8 MiB), enforced with
-// http.MaxBytesReader before decoding.
+// http.MaxBytesReader before decoding. The write endpoints (/v1/insert,
+// /v1/ingest) and /v1/expire share the same cap: an edge batch worth more
+// than 8 MiB of JSON should be split, not buffered.
 const maxBatchBody = 8 << 20
+
+// maxSnapshotBody bounds a POST /v1/snapshot upload (1 GiB). Snapshots are
+// compact relative to the streams they summarize, so anything larger is a
+// runaway client, not a bigger summary.
+const maxSnapshotBody = 1 << 30
 
 // maxBatchProbes bounds what one /v2/query envelope may expand to. Body
 // bytes alone do not bound execution cost: a ~45-byte vertex_in item
@@ -600,6 +652,33 @@ func decodeBatchEnvelope(w http.ResponseWriter, r *http.Request) ([]json.RawMess
 	return raws, nil
 }
 
+// MemoryStatus is the heap summary /healthz reports, read from
+// runtime.MemStats: live heap (alloc/inuse), lifetime allocation volume
+// (total bytes and malloc count — the counters the pooling work drives
+// down), and completed GC cycles.
+type MemoryStatus struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapInuseBytes  uint64 `json:"heap_inuse_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	NumGC           uint32 `json:"num_gc"`
+}
+
+// readMemory fills a MemoryStatus from runtime.ReadMemStats. The read
+// stops the world for ~tens of microseconds — fine at probe cadence, which
+// is why it lives in /healthz rather than on a query path.
+func readMemory() MemoryStatus {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemoryStatus{
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapInuseBytes:  ms.HeapInuse,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+	}
+}
+
 // handleHealthz is the load-balancer probe: 200 with the serving
 // configuration, computed without touching a shard lock or a query path,
 // so probes stay cheap and never queue behind traffic.
@@ -623,6 +702,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"ingest":     st.pipe.Mode().String(),
 		"durability": durability,
 		"retention":  retention,
+		"memory":     readMemory(),
 	})
 }
 
@@ -652,9 +732,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 				"snapshot upload disabled: durable state is owned by the write-ahead log (-wal-dir)")
 			return
 		}
-		loaded, err := shard.Read(r.Body)
+		loaded, err := shard.Read(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "snapshot: %v", err)
+			httpError(w, decodeStatus(err), "snapshot: %v", err)
 			return
 		}
 		pipe, err := ingest.New(loaded, s.icfg)

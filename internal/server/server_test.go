@@ -1028,3 +1028,48 @@ func TestSnapshotUploadRejectedWhenWALOwnsState(t *testing.T) {
 		t.Fatalf("snapshot upload with WAL: status %d, want 409", resp.StatusCode)
 	}
 }
+
+// TestWriteBodyCaps: every write endpoint rejects an oversized body with
+// 413 instead of buffering it (/v2/query's cap has its own test above).
+func TestWriteBodyCaps(t *testing.T) {
+	_, ts := newTestServer(t)
+	edge := `{"s":1,"d":2,"w":1,"t":100},`
+	huge := "[" + strings.Repeat(edge, (8<<20)/len(edge)+2)
+	huge = huge[:len(huge)-1] + "]"
+	if len(huge) <= 8<<20 {
+		t.Fatalf("test body not oversized: %d bytes", len(huge))
+	}
+	for _, path := range []string{"/v1/insert", "/v1/ingest", "/v1/expire"} {
+		resp := post(t, ts.URL+path, huge)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body status %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// The endpoints still work after rejecting an oversized body.
+	resp := post(t, ts.URL+"/v1/ingest", `[{"s":1,"d":2,"w":1,"t":100}]`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest after cap status %d", resp.StatusCode)
+	}
+}
+
+// TestHealthzMemory: /healthz reports the runtime heap counters the
+// pooling work is judged by.
+func TestHealthzMemory(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := get(t, ts.URL+"/healthz")
+	got := decode[map[string]any](t, resp)
+	mem, ok := got["memory"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing memory section: %v", got)
+	}
+	for _, key := range []string{"heap_alloc_bytes", "heap_inuse_bytes", "total_alloc_bytes", "mallocs", "num_gc"} {
+		if _, ok := mem[key]; !ok {
+			t.Fatalf("memory section missing %q: %v", key, mem)
+		}
+	}
+	if mem["total_alloc_bytes"].(float64) <= 0 || mem["mallocs"].(float64) <= 0 {
+		t.Fatalf("memory counters implausibly zero: %v", mem)
+	}
+}

@@ -205,7 +205,8 @@ type Log struct {
 	nextSeq  uint64 // next sequence number to assign
 	appended uint64 // last sequence number with a written record
 	enc      bytes.Buffer
-	err      error // sticky write/sync failure
+	encW     *wire.Writer // reused frame encoder over enc
+	err      error        // sticky write/sync failure
 	closed   bool
 
 	// syncMu guards the durability frontier; syncCond broadcasts whenever
@@ -460,8 +461,7 @@ func (l *Log) Append(edges []stream.Edge, deliver func(firstSeq uint64) error) (
 	// leave no trace anywhere, and a delivered batch must consume its
 	// sequence numbers. Admitting first and rejecting after would let two
 	// batches share sequences, corrupting the watermark invariant.
-	l.enc.Reset()
-	w := wire.NewWriter(&l.enc)
+	w := l.frameEncoder()
 	w.U64(uint64(RecordEdges))
 	w.U64(first)
 	w.Int(len(edges))
@@ -509,8 +509,7 @@ func (l *Log) AppendExpire(cutoff int64, deliver func(seq uint64) error) (seq ui
 		return 0, l.err
 	}
 	seq = l.nextSeq
-	l.enc.Reset()
-	w := wire.NewWriter(&l.enc)
+	w := l.frameEncoder()
 	w.U64(uint64(RecordExpire))
 	w.U64(seq)
 	w.I64(cutoff)
@@ -527,6 +526,20 @@ func (l *Log) AppendExpire(cutoff int64, deliver func(seq uint64) error) (seq ui
 		return seq, err
 	}
 	return seq, nil
+}
+
+// frameEncoder resets the record scratch buffer and returns the log's
+// long-lived wire encoder pointed at it. Reusing one Writer (and its
+// internal bufio buffer) keeps record encoding allocation-free; l.mu
+// serializes all use.
+func (l *Log) frameEncoder() *wire.Writer {
+	l.enc.Reset()
+	if l.encW == nil {
+		l.encW = wire.NewWriter(&l.enc)
+	} else {
+		l.encW.Reset(&l.enc)
+	}
+	return l.encW
 }
 
 // writeRecordLocked frames l.enc's payload into the active segment and
