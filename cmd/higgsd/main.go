@@ -54,6 +54,17 @@
 //
 //	higgsd -wal-dir /var/lib/higgs -retention-window 24h -retention-interval 1m
 //
+// Replication (DESIGN.md §15): -replication-addr serves the WAL-shipping
+// feed (/repl/info, /repl/snapshot, /repl/wal) on a separate, private
+// listener. A follower started with -replicate-from boots from the
+// primary's snapshot (or its -replica-dir local cache), tails durable
+// records, and serves every read endpoint — /v1 queries, /v2/query,
+// snapshot download — while answering 403 on writes. /healthz reports
+// role, applied sequence, and lag in its "replication" field.
+//
+//	higgsd -wal-dir /var/lib/higgs -replication-addr 127.0.0.1:9090
+//	higgsd -addr :8081 -replicate-from http://127.0.0.1:9090 -replica-dir /var/lib/higgs-replica
+//
 // On SIGINT/SIGTERM the server stops accepting connections, drains the
 // ingest pipeline (every 202-accepted batch is applied), writes a final
 // snapshot into -wal-dir (truncating the log), and, if -save is set,
@@ -73,10 +84,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"higgs/internal/ingest"
+	"higgs/internal/repl"
 	"higgs/internal/server"
 	"higgs/internal/shard"
 	"higgs/internal/wal"
@@ -100,6 +113,10 @@ func main() {
 		retWin  = flag.Duration("retention-window", 0, "sliding retention window: periodically expire edges older than now minus this (0 = keep everything)")
 		retIvl  = flag.Duration("retention-interval", 0, "retention loop cadence; requires -retention-window (0 = window/10, at least 1s)")
 		pprof   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private — profiles expose internals")
+
+		replAddr   = flag.String("replication-addr", "", "serve the WAL-shipping replication feed (/repl/*) on this address; requires -wal-dir (empty = disabled); keep it private — it ships the raw log")
+		replFrom   = flag.String("replicate-from", "", "run as a read-only follower of this primary replication URL (e.g. http://primary:9090): reads served, writes answer 403")
+		replicaDir = flag.String("replica-dir", "", "follower state directory holding the local snapshot cache, so restarts resume from disk; requires -replicate-from")
 	)
 	flag.Parse()
 
@@ -117,8 +134,6 @@ func main() {
 		log.Fatalf("higgsd: -snapshot-interval %v, need ≥ 0", *snapIvl)
 	case *walSync < 0:
 		log.Fatalf("higgsd: -wal-sync-interval %v, need ≥ 0", *walSync)
-	case *snapIvl > 0 && *walDir == "":
-		log.Fatal("higgsd: -snapshot-interval requires -wal-dir")
 	case *walDir != "" && *load != "":
 		log.Fatal("higgsd: -load conflicts with -wal-dir (the WAL directory owns its snapshot; remove -load)")
 	case *retWin < 0:
@@ -127,6 +142,27 @@ func main() {
 		log.Fatalf("higgsd: -retention-interval %v, need ≥ 0", *retIvl)
 	case *retIvl > 0 && *retWin == 0:
 		log.Fatal("higgsd: -retention-interval requires -retention-window")
+	case *replAddr != "" && *walDir == "":
+		log.Fatal("higgsd: -replication-addr requires -wal-dir (the feed ships the write-ahead log)")
+	case *replicaDir != "" && *replFrom == "":
+		log.Fatal("higgsd: -replica-dir requires -replicate-from")
+	case *replFrom != "" && *walDir != "":
+		log.Fatal("higgsd: -replicate-from conflicts with -wal-dir (a follower's durable state is its primary; use -replica-dir for the local cache)")
+	case *replFrom != "" && *load != "":
+		log.Fatal("higgsd: -replicate-from conflicts with -load (the boot snapshot comes from the primary)")
+	case *replFrom != "" && *shards != 0:
+		log.Fatal("higgsd: -replicate-from conflicts with -shards (the primary's snapshot fixes the shard count)")
+	case *replFrom != "" && *retWin > 0:
+		log.Fatal("higgsd: -replicate-from conflicts with -retention-window (retention runs on the primary and replicates as expire records)")
+	case *replFrom != "" && *replAddr != "":
+		log.Fatal("higgsd: -replicate-from conflicts with -replication-addr (chained replication is not supported)")
+	case *snapIvl > 0 && *walDir == "" && *replicaDir == "":
+		log.Fatal("higgsd: -snapshot-interval requires -wal-dir (or -replica-dir on a follower)")
+	}
+
+	if *replFrom != "" {
+		runFollower(*addr, *replFrom, *replicaDir, *snapIvl, *save, *pprof)
+		return
 	}
 	icfg := ingest.DefaultConfig()
 	icfg.Mode = imode
@@ -216,6 +252,22 @@ func main() {
 			return st
 		})
 	}
+	var replSrv *http.Server
+	if *replAddr != "" {
+		// The replication feed gets its own listener: it ships raw WAL
+		// bytes and whole snapshots, an operator surface never exposed
+		// alongside the client API.
+		replSrv = &http.Server{Addr: *replAddr, Handler: repl.NewPrimary(sum, wlog).Handler()}
+		go func() {
+			log.Printf("higgsd: replication feed listening on %s", *replAddr)
+			if err := replSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("higgsd: replication: %v", err)
+			}
+		}()
+		srv.SetReplication(func() server.ReplicationStatus {
+			return server.ReplicationStatus{Role: server.RolePrimary, PrimarySeq: wlog.SyncedSeq()}
+		})
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	if *pprof != "" {
@@ -247,6 +299,11 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("higgsd: shutdown: %v", err)
 	}
+	if replSrv != nil {
+		if err := replSrv.Shutdown(ctx); err != nil {
+			log.Printf("higgsd: replication shutdown: %v", err)
+		}
+	}
 	// Drain accepted-but-uncommitted ingest batches before snapshotting:
 	// a 202 means the edge survives an orderly shutdown.
 	if retainer != nil {
@@ -275,6 +332,93 @@ func main() {
 		if err := wlog.Close(); err != nil {
 			log.Printf("higgsd: wal close: %v", err)
 		}
+	}
+}
+
+// runFollower is the -replicate-from entrypoint: boot a replication
+// follower (local cache or primary snapshot + WAL tail), serve its summary
+// read-only, and keep tailing until shutdown. A resync — the primary
+// truncated past our resume point — swaps the served summary atomically
+// via server.ReplaceSummary.
+func runFollower(addr, source, dir string, snapIvl time.Duration, save, pprofAddr string) {
+	// The server is built after the follower boots (it serves the booted
+	// summary), but a resync can fire as soon as the tail loop starts; the
+	// swap callback waits for the pointer. ReplaceSummary no-ops when the
+	// server was already constructed on the swapped-in summary.
+	var srvPtr atomic.Pointer[server.Server]
+	f, err := repl.NewFollower(repl.FollowerConfig{
+		Source:           source,
+		Dir:              dir,
+		SnapshotInterval: snapIvl,
+		OnError:          func(err error) { log.Printf("higgsd: replication: %v", err) },
+		OnSwap: func(old, new *shard.Summary) {
+			for srvPtr.Load() == nil {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if err := srvPtr.Load().ReplaceSummary(new); err != nil {
+				log.Printf("higgsd: resync swap: %v", err)
+				return
+			}
+			log.Printf("higgsd: resynced from primary snapshot (items=%d)", new.Items())
+		},
+	})
+	if err != nil {
+		log.Fatalf("higgsd: %v", err)
+	}
+	if err := f.Start(); err != nil {
+		log.Fatalf("higgsd: follower boot: %v", err)
+	}
+	srv, err := server.NewReplica(f.Summary())
+	if err != nil {
+		log.Fatalf("higgsd: %v", err)
+	}
+	srvPtr.Store(srv)
+	srv.SetReplication(func() server.ReplicationStatus {
+		st := f.Status()
+		return server.ReplicationStatus{
+			Role:       server.RoleFollower,
+			Source:     st.Source,
+			AppliedSeq: st.AppliedSeq,
+			PrimarySeq: st.PrimarySeq,
+			Lag:        st.Lag,
+			Resyncs:    st.Resyncs,
+		}
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	if pprofAddr != "" {
+		go func() {
+			log.Printf("higgsd: pprof listening on %s", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("higgsd: pprof: %v", err)
+			}
+		}()
+	}
+	go func() {
+		st := f.Status()
+		log.Printf("higgsd: follower of %s listening on %s (shards=%d items=%d applied_seq=%d)",
+			source, addr, srv.Summary().NumShards(), srv.Summary().Items(), st.AppliedSeq)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("higgsd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Println("higgsd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("higgsd: shutdown: %v", err)
+	}
+	f.Close() // stop tailing (and swapping) before touching the summary
+	srv.Close()
+	if save != "" {
+		if err := writeSnapshot(srv.Summary(), save); err != nil {
+			log.Fatalf("higgsd: save: %v", err)
+		}
+		log.Printf("higgsd: snapshot saved to %s", save)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"higgs/internal/core"
 	"higgs/internal/ingest"
 	"higgs/internal/query"
+	"higgs/internal/repl"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
 	"higgs/internal/wal"
@@ -224,6 +225,37 @@ type RetentionConfig = ingest.RetentionConfig
 func NewRetainer(p *Ingest, cfg RetentionConfig) (*Retainer, error) {
 	return ingest.NewRetainer(func() *ingest.Pipeline { return p }, cfg)
 }
+
+// ReplicationPrimary serves a WAL-backed summary's replication feed over
+// HTTP: its snapshot plus the log as a stream of typed, sequence-numbered
+// records (DESIGN.md §15). Mount Handler on a private listener; only
+// durable (fsync'd) records are ever shipped. See repl.Primary.
+type ReplicationPrimary = repl.Primary
+
+// NewReplicationPrimary returns the replication feed over the summary and
+// the write-ahead log backing its ingest pipeline.
+func NewReplicationPrimary(s *Sharded, w *WAL) *ReplicationPrimary { return repl.NewPrimary(s, w) }
+
+// Follower replicates a primary's summary: boot from a snapshot (or a
+// local cache), then tail durable WAL records through the same per-shard
+// watermark machinery crash recovery uses — so the replica is provably
+// at-a-known-sequence and byte-identical to the primary at that sequence.
+// The replicated Summary is safe for concurrent readers throughout. See
+// repl.Follower.
+type Follower = repl.Follower
+
+// FollowerConfig parameterizes a Follower: the primary's replication URL,
+// an optional local snapshot-cache directory, poll/retry cadences, and
+// observers for background errors and resync summary swaps.
+type FollowerConfig = repl.FollowerConfig
+
+// FollowerStatus is a follower's replication state: applied and primary
+// sequence numbers, lag, and the resync count.
+type FollowerStatus = repl.Status
+
+// NewFollower validates the configuration and returns an unstarted
+// follower; Start performs the boot fetch and launches the tail loop.
+func NewFollower(cfg FollowerConfig) (*Follower, error) { return repl.NewFollower(cfg) }
 
 // Query describes one temporal range query of any kind — edge, vertex
 // (out / in), path, or subgraph — over a closed [Ts, Te] window; build

@@ -33,6 +33,7 @@ var registry = []Experiment{
 	{"walrecovery", "Extra: crash recovery — snapshot + WAL replay (internal/wal)", WALRecovery},
 	{"retention", "Extra: durable retention — crash recovery with interleaved expires", Retention},
 	{"allocs", "Extra: hot-path allocation gate — 0 allocs/op + insert throughput", Allocs},
+	{"replication", "Extra: WAL-shipping replication — follower byte-equality + read scale-out", Replication},
 }
 
 // Experiments lists all registered experiments in presentation order.

@@ -32,44 +32,115 @@ import (
 // pipeline (Replay must not race Append). It returns the number of edges
 // applied (replayed expires are not counted).
 func Recover(sum *shard.Summary, log *wal.Log) (replayed int64, err error) {
-	marks := make([]uint64, sum.NumShards())
-	for i := range marks {
-		marks[i] = sum.ShardSeq(i)
+	a := NewApplier(sum)
+	if err = log.Replay(a.Apply); err != nil {
+		return a.Applied(), fmt.Errorf("ingest: recover: %w", err)
 	}
-	groups := make(map[int][]stream.Edge)
-	gmax := make(map[int]uint64)
-	err = log.Replay(func(rec wal.Record) error {
-		if rec.Type == wal.RecordExpire {
-			for i := range marks {
-				if rec.FirstSeq <= marks[i] {
-					continue // the snapshot is already post-expire here
-				}
-				sum.ExpireShardAt(i, rec.Cutoff, rec.FirstSeq)
-				marks[i] = rec.FirstSeq
+	return a.Applied(), nil
+}
+
+// Applier replays a stream of WAL records into a summary through the
+// per-shard watermark machinery — the shared core of boot recovery
+// (Recover) and of a replication follower (internal/repl). Each shard's
+// watermark (shard.ShardSeq) splits "already in this summary" from "apply
+// me": records at or below a shard's mark are skipped for that shard, so
+// replaying an overlapping stream — a recovery tail, a re-delivered
+// replication chunk after a follower restart — never double-applies a
+// record. The applier is not safe for concurrent Apply calls; concurrent
+// readers of the summary are fine (Insert/ExpireShardAt take the shard
+// write lock).
+type Applier struct {
+	sum     *shard.Summary
+	marks   []uint64
+	groups  map[int][]stream.Edge
+	gmax    map[int]uint64
+	pos     uint64
+	primed  bool // a first record arrived; gap-check the ones that follow
+	applied int64
+}
+
+// NewApplier returns an applier over the summary's current watermarks.
+func NewApplier(sum *shard.Summary) *Applier {
+	a := &Applier{
+		sum:    sum,
+		marks:  make([]uint64, sum.NumShards()),
+		groups: make(map[int][]stream.Edge),
+		gmax:   make(map[int]uint64),
+	}
+	for i := range a.marks {
+		a.marks[i] = sum.ShardSeq(i)
+	}
+	a.pos = a.ResumeSeq()
+	return a
+}
+
+// ResumeSeq returns the sequence number from which a record stream must
+// (re)start to be lossless: the minimum per-shard watermark. Every record
+// at or below it is fully applied on every shard; records above it may or
+// may not be, which is exactly what the per-shard skip in Apply resolves.
+func (a *Applier) ResumeSeq() uint64 {
+	min := uint64(0)
+	for i, m := range a.marks {
+		if i == 0 || m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// Position returns the highest record boundary processed so far — the
+// "applied sequence" a follower reports and resumes its live tail from.
+// Unlike ResumeSeq it advances past records the watermarks skipped.
+func (a *Applier) Position() uint64 { return a.pos }
+
+// Applied returns the number of edges inserted (skipped edges and expires
+// are not counted).
+func (a *Applier) Applied() int64 { return a.applied }
+
+// Apply replays one record. After the first record, records must arrive
+// in ascending sequence order with no gaps beyond Position (overlap is
+// fine and is skipped via the watermarks); a mid-stream gap means the
+// stream lost acknowledged records, and Apply refuses it rather than
+// build a silently divergent summary. The first record of a stream is
+// exempt because a truncated log legitimately starts above an idle
+// shard's watermark — the snapshot covers the gap; the stream's producer
+// (segment-scan contiguity, or the replication primary's floor check)
+// vouches for its own starting point.
+func (a *Applier) Apply(rec wal.Record) error {
+	if a.primed && rec.FirstSeq > a.pos+1 {
+		return fmt.Errorf("ingest: apply: record starts at seq %d, want ≤ %d (gap)", rec.FirstSeq, a.pos+1)
+	}
+	a.primed = true
+	if rec.Type == wal.RecordExpire {
+		for i := range a.marks {
+			if rec.FirstSeq <= a.marks[i] {
+				continue // this shard is already post-expire
 			}
-			return nil
+			a.sum.ExpireShardAt(i, rec.Cutoff, rec.FirstSeq)
+			a.marks[i] = rec.FirstSeq
 		}
-		clear(groups)
-		for j, e := range rec.Edges {
-			seq := rec.FirstSeq + uint64(j)
-			i := sum.ShardFor(e.S)
-			if seq <= marks[i] {
-				continue // the snapshot already holds this edge
-			}
-			groups[i] = append(groups[i], e)
-			gmax[i] = seq
-		}
-		for i, g := range groups {
-			sum.InsertShardAt(i, g, gmax[i])
-			marks[i] = gmax[i]
-			replayed += int64(len(g))
-		}
+		a.pos = rec.FirstSeq
 		return nil
-	})
-	if err != nil {
-		return replayed, fmt.Errorf("ingest: recover: %w", err)
 	}
-	return replayed, nil
+	clear(a.groups)
+	for j, e := range rec.Edges {
+		seq := rec.FirstSeq + uint64(j)
+		i := a.sum.ShardFor(e.S)
+		if seq <= a.marks[i] {
+			continue // this shard already holds this edge
+		}
+		a.groups[i] = append(a.groups[i], e)
+		a.gmax[i] = seq
+	}
+	for i, g := range a.groups {
+		a.sum.InsertShardAt(i, g, a.gmax[i])
+		a.marks[i] = a.gmax[i]
+		a.applied += int64(len(g))
+	}
+	if last := rec.LastSeq(); last > a.pos {
+		a.pos = last
+	}
+	return nil
 }
 
 // WriteSnapshot writes the summary's snapshot to path atomically: encode

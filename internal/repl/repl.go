@@ -1,0 +1,151 @@
+// Package repl implements WAL-shipping replication (DESIGN.md §15): a
+// primary that serves its summary plus its write-ahead log as a stream of
+// typed, sequence-numbered records, and a follower that replays that
+// stream through the per-shard watermark machinery (ingest.Applier) so a
+// replica is provably at-a-known-sequence — and byte-identical to the
+// primary at that sequence.
+//
+// The protocol is pull-based and stateless on the primary: a follower
+// boots by fetching a snapshot (GET /repl/snapshot), then tails records
+// (GET /repl/wal?after=N&wait=D) from its resume point. Only durable
+// (fsync'd) records are ever shipped, so a follower can never get ahead
+// of what the primary itself would recover to after a crash. When the
+// requested records were truncated behind a snapshot, the primary answers
+// 410 Gone and the follower re-fetches a snapshot — the same
+// snapshot+tail recovery a reboot performs, over HTTP.
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"higgs/internal/shard"
+	"higgs/internal/wal"
+)
+
+// SeqHeader carries the primary's durability frontier on every replication
+// response, so a follower computes its lag from the response it already
+// has instead of issuing a second request.
+const SeqHeader = "X-Higgs-Synced-Seq"
+
+// maxPollWait caps how long one /repl/wal request may long-poll; a
+// follower wanting to wait longer simply asks again.
+const maxPollWait = 30 * time.Second
+
+// Primary serves a WAL-backed summary's replication feed. It performs no
+// writes of its own: snapshots stream the live summary shard by shard, and
+// record reads are bounded at the log's durability frontier (wal.ReadFrom),
+// both safe against concurrent ingest. Register Handler on a separate
+// listener (higgsd -replication-addr) — replication is an operator
+// surface, not a client one.
+type Primary struct {
+	sum *shard.Summary
+	log *wal.Log
+}
+
+// NewPrimary returns a primary over the pipeline's summary and log.
+func NewPrimary(sum *shard.Summary, log *wal.Log) *Primary {
+	return &Primary{sum: sum, log: log}
+}
+
+// Handler returns the replication HTTP surface:
+//
+//	GET /repl/info      — JSON: retained floor, appended/synced frontiers, shards
+//	GET /repl/snapshot  — binary summary snapshot (shard codec)
+//	GET /repl/wal       — record stream after ?after=N, long-polling up to ?wait=D
+func (p *Primary) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/info", p.handleInfo)
+	mux.HandleFunc("/repl/snapshot", p.handleSnapshot)
+	mux.HandleFunc("/repl/wal", p.handleWAL)
+	return mux
+}
+
+func (p *Primary) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"first_seq":  p.log.FirstSeq(),
+		"last_seq":   p.log.LastSeq(),
+		"synced_seq": p.log.SyncedSeq(),
+		"shards":     p.sum.NumShards(),
+	})
+}
+
+// handleSnapshot streams the summary's snapshot. Shards are encoded one at
+// a time under their read locks, so the snapshot is per-shard consistent
+// with an embedded watermark per shard — exactly what the follower's
+// applier needs to replay the tail without double-applying (the same
+// contract ingest.WriteSnapshot relies on for crash recovery).
+func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(SeqHeader, strconv.FormatUint(p.log.SyncedSeq(), 10))
+	if _, err := p.sum.WriteTo(w); err != nil {
+		// Headers are gone; the truncated body fails the follower's decode.
+		return
+	}
+}
+
+// handleWAL streams every durable record after ?after=N (default 0) in the
+// WAL's own frame format (wal.StreamWriter). With ?wait=D and no new
+// records, the request parks on the durability frontier up to D before
+// answering — the follower's long-poll. 410 Gone means the records were
+// truncated behind a snapshot: fetch /repl/snapshot and resume from its
+// watermarks. The SeqHeader reports the frontier the stream was bounded
+// at; a response may carry zero records (frontier unchanged).
+func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	var after uint64
+	if v := q.Get("after"); v != "" {
+		var err error
+		if after, err = strconv.ParseUint(v, 10, 64); err != nil {
+			http.Error(w, fmt.Sprintf("after: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		var err error
+		if wait, err = time.ParseDuration(v); err != nil {
+			http.Error(w, fmt.Sprintf("wait: %v", err), http.StatusBadRequest)
+			return
+		}
+		if wait > maxPollWait {
+			wait = maxPollWait
+		}
+	}
+	frontier := p.log.SyncedSeq()
+	if frontier <= after && wait > 0 {
+		frontier = p.log.WaitSyncedBeyond(after, wait)
+	}
+	if p.log.FirstSeq() > after+1 {
+		http.Error(w, "requested records truncated; fetch /repl/snapshot", http.StatusGone)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(SeqHeader, strconv.FormatUint(frontier, 10))
+	sw, err := wal.NewStreamWriter(w)
+	if err != nil {
+		return // client went away
+	}
+	// A failure mid-stream (including a truncation race) cannot change the
+	// status anymore; the torn body fails the follower's decode and it
+	// retries, hitting the clean 410/error path.
+	_, _ = p.log.ReadFrom(after, frontier, func(rec wal.Record) error {
+		return sw.Write(rec)
+	})
+}

@@ -1,0 +1,278 @@
+package repl
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"higgs/internal/ingest"
+	"higgs/internal/shard"
+	"higgs/internal/stream"
+	"higgs/internal/wal"
+)
+
+// primaryRig is a WAL-backed primary: sync-mode pipeline (every Submit is
+// applied and fsync'd before returning), replication handler on httptest.
+type primaryRig struct {
+	sum  *shard.Summary
+	log  *wal.Log
+	pipe *ingest.Pipeline
+	srv  *httptest.Server
+	dir  string
+}
+
+func newPrimaryRig(t *testing.T, shards int, segBytes int64) *primaryRig {
+	t.Helper()
+	cfg := shard.DefaultConfig()
+	cfg.Shards = shards
+	sum, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	log, err := wal.Open(wal.Config{Dir: filepath.Join(dir, "wal"), SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := ingest.New(sum, ingest.Config{Mode: ingest.ModeSync, WAL: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewPrimary(sum, log).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		pipe.Close()
+		log.Close()
+		sum.Close()
+	})
+	return &primaryRig{sum: sum, log: log, pipe: pipe, srv: srv, dir: dir}
+}
+
+// snap truncates the WAL behind a snapshot, exactly like the production
+// background snapshotter.
+func (p *primaryRig) snap(t *testing.T) {
+	t.Helper()
+	snapper := ingest.NewSnapshotter(p.sum, p.pipe, p.log, filepath.Join(p.dir, "snap.higgs"), 0, nil)
+	defer snapper.Close()
+	if err := snapper.Snap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testStream(t *testing.T, edges int) stream.Stream {
+	t.Helper()
+	s, err := stream.Generate(stream.Config{
+		Nodes: 150, Edges: edges, Span: 5000, Skew: 2.0, Variance: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// feed submits st[lo:hi] in fixed batches with one expire interleaved
+// mid-range when cutoff is nonzero.
+func (p *primaryRig) feed(t *testing.T, st stream.Stream, lo, hi int, cutoff int64) {
+	t.Helper()
+	const batch = 64
+	mid := (lo + hi) / 2
+	for at := lo; at < hi; at += batch {
+		end := at + batch
+		if end > hi {
+			end = hi
+		}
+		if _, err := p.pipe.Submit(st[at:end]); err != nil {
+			t.Fatal(err)
+		}
+		if cutoff != 0 && at <= mid && mid < end {
+			if _, err := p.pipe.Expire(cutoff); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// summaryBytes serializes a summary without finalizing, so live and
+// replicated summaries stay comparable mid-stream.
+func summaryBytes(t *testing.T, s *shard.Summary) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// converge waits for the follower to reach the primary's last sequence and
+// byte-compares the two summaries at that point.
+func converge(t *testing.T, p *primaryRig, f *Follower) {
+	t.Helper()
+	target := p.log.LastSeq()
+	if !f.WaitApplied(target, 30*time.Second) {
+		t.Fatalf("follower stuck at %d, want %d", f.Status().AppliedSeq, target)
+	}
+	want := summaryBytes(t, p.sum)
+	got := summaryBytes(t, f.Summary())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("follower summary at seq %d differs from primary (%d vs %d bytes)", target, len(got), len(want))
+	}
+	st := f.Status()
+	if st.AppliedSeq < target {
+		t.Fatalf("status applied %d < target %d", st.AppliedSeq, target)
+	}
+	if st.PrimarySeq < target {
+		t.Fatalf("status primary seq %d < target %d", st.PrimarySeq, target)
+	}
+}
+
+func newFollowerT(t *testing.T, cfg FollowerConfig) *Follower {
+	t.Helper()
+	cfg.PollWait = 100 * time.Millisecond
+	cfg.RetryInterval = 20 * time.Millisecond
+	cfg.OnError = func(err error) { t.Logf("follower: %v", err) }
+	f, err := NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// TestFollowerLiveTail joins an empty primary and tails the whole stream —
+// edge batches and an expire — live.
+func TestFollowerLiveTail(t *testing.T) {
+	p := newPrimaryRig(t, 4, 0)
+	st := testStream(t, 3000)
+	f := newFollowerT(t, FollowerConfig{Source: p.srv.URL})
+	p.feed(t, st, 0, len(st), st[len(st)/4].T)
+	converge(t, p, f)
+	if n := f.Status().Resyncs; n != 0 {
+		t.Fatalf("live tail needed %d resyncs", n)
+	}
+}
+
+// TestFollowerSnapshotCatchUp joins mid-stream after the primary truncated
+// its log behind a snapshot, so boot MUST come from /repl/snapshot.
+func TestFollowerSnapshotCatchUp(t *testing.T) {
+	p := newPrimaryRig(t, 4, 4<<10)
+	st := testStream(t, 3000)
+	half := len(st) / 2
+	p.feed(t, st, 0, half, st[len(st)/8].T)
+	p.snap(t)
+	if floor := p.log.FirstSeq(); floor <= 1 {
+		t.Fatal("truncation did not advance the floor; catch-up would not exercise the snapshot")
+	}
+	f := newFollowerT(t, FollowerConfig{Source: p.srv.URL})
+	p.feed(t, st, half, len(st), 0)
+	converge(t, p, f)
+	// Vacuity guard: the tail must have been a strict subset of the stream.
+	if a := f.Status().AppliedSeq; a <= uint64(half) {
+		t.Fatalf("applied seq %d implies no tail was replayed", a)
+	}
+}
+
+// TestFollowerRestartResume restarts a follower from its local snapshot
+// cache: the resumed tail overlaps records the first incarnation already
+// applied, and the watermark skip must de-duplicate them exactly.
+func TestFollowerRestartResume(t *testing.T) {
+	p := newPrimaryRig(t, 2, 0)
+	st := testStream(t, 3000)
+	half := len(st) / 2
+	p.feed(t, st, 0, half, st[len(st)/8].T)
+
+	dir := t.TempDir()
+	f1 := newFollowerT(t, FollowerConfig{Source: p.srv.URL, Dir: dir})
+	if !f1.WaitApplied(p.log.LastSeq(), 30*time.Second) {
+		t.Fatal("first incarnation never caught up")
+	}
+	// More records arrive, the follower applies past its boot cache...
+	p.feed(t, st, half, half+half/2, 0)
+	if !f1.WaitApplied(p.log.LastSeq(), 30*time.Second) {
+		t.Fatal("first incarnation never caught up past the cache point")
+	}
+	cachedAt := f1.Status().AppliedSeq
+	// ...and dies without refreshing the cache.
+	f1.Close()
+
+	p.feed(t, st, half+half/2, len(st), 0)
+	f2 := newFollowerT(t, FollowerConfig{Source: p.srv.URL, Dir: dir})
+	if boot := f2.Status().AppliedSeq; boot >= cachedAt {
+		t.Fatalf("restart booted at %d, want a stale cache below %d (no overlap to de-duplicate)", boot, cachedAt)
+	}
+	converge(t, p, f2)
+	if n := f2.Status().Resyncs; n != 0 {
+		t.Fatalf("restart resume needed %d resyncs", n)
+	}
+}
+
+// TestFollowerResyncOn410 restarts a follower whose resume point the
+// primary truncated away; the 410 path must re-bootstrap via snapshot.
+func TestFollowerResyncOn410(t *testing.T) {
+	p := newPrimaryRig(t, 2, 2<<10)
+	st := testStream(t, 3000)
+	third := len(st) / 3
+	p.feed(t, st, 0, third, 0)
+
+	dir := t.TempDir()
+	f1 := newFollowerT(t, FollowerConfig{Source: p.srv.URL, Dir: dir})
+	if !f1.WaitApplied(p.log.LastSeq(), 30*time.Second) {
+		t.Fatal("first incarnation never caught up")
+	}
+	f1.Close()
+
+	// The primary moves far ahead and truncates behind a snapshot.
+	p.feed(t, st, third, len(st), st[len(st)/8].T)
+	p.snap(t)
+	if floor := p.log.FirstSeq(); floor <= uint64(third) {
+		t.Fatalf("floor %d did not pass the first incarnation's position %d", floor, third)
+	}
+
+	f2 := newFollowerT(t, FollowerConfig{Source: p.srv.URL, Dir: dir})
+	converge(t, p, f2)
+	if n := f2.Status().Resyncs; n < 1 {
+		t.Fatal("truncated resume point did not force a resync")
+	}
+}
+
+// TestFollowerOnSwapOwnsOldSummary checks the resync swap contract: with
+// an OnSwap callback installed, the old summary is handed over, not closed
+// by the follower.
+func TestFollowerOnSwapOwnsOldSummary(t *testing.T) {
+	p := newPrimaryRig(t, 1, 1<<10)
+	st := testStream(t, 1200)
+	third := len(st) / 3
+	p.feed(t, st, 0, third, 0)
+
+	dir := t.TempDir()
+	f1 := newFollowerT(t, FollowerConfig{Source: p.srv.URL, Dir: dir})
+	if !f1.WaitApplied(p.log.LastSeq(), 30*time.Second) {
+		t.Fatal("never caught up")
+	}
+	f1.Close()
+	p.feed(t, st, third, len(st), 0)
+	p.snap(t)
+
+	swapped := make(chan *shard.Summary, 1)
+	f2 := newFollowerT(t, FollowerConfig{
+		Source: p.srv.URL,
+		Dir:    dir,
+		OnSwap: func(old, new *shard.Summary) {
+			swapped <- old
+			old.Close()
+		},
+	})
+	converge(t, p, f2)
+	select {
+	case old := <-swapped:
+		if old == f2.Summary() {
+			t.Fatal("OnSwap received the new summary as old")
+		}
+	default:
+		t.Fatal("resync did not invoke OnSwap")
+	}
+}

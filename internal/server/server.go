@@ -86,11 +86,13 @@ type state struct {
 // summary/pipeline pair is swapped atomically on snapshot upload, so
 // in-flight requests always see a consistent summary.
 type Server struct {
-	st         atomic.Pointer[state]
-	icfg       ingest.Config
-	closed     atomic.Bool
-	durability atomic.Pointer[func() DurabilityStatus]
-	retention  atomic.Pointer[func() RetentionStatus]
+	st          atomic.Pointer[state]
+	icfg        ingest.Config
+	closed      atomic.Bool
+	replica     bool
+	durability  atomic.Pointer[func() DurabilityStatus]
+	retention   atomic.Pointer[func() RetentionStatus]
+	replication atomic.Pointer[func() ReplicationStatus]
 }
 
 // DurabilityStatus is the WAL/snapshot state /healthz reports (DESIGN.md
@@ -147,6 +149,43 @@ func (s *Server) SetRetention(fn func() RetentionStatus) {
 	s.retention.Store(&fn)
 }
 
+// Replication roles reported in /healthz's "replication" field.
+const (
+	// RoleStandalone is a server with no replication configured.
+	RoleStandalone = "standalone"
+	// RolePrimary serves a replication feed (higgsd -replication-addr).
+	RolePrimary = "primary"
+	// RoleFollower is a read-only replica (higgsd -replicate-from).
+	RoleFollower = "follower"
+)
+
+// ReplicationStatus is the replication state /healthz reports (DESIGN.md
+// §15): the server's role and, for a follower, where it replicates from
+// and how far behind it is.
+type ReplicationStatus struct {
+	// Role is RoleStandalone, RolePrimary, or RoleFollower.
+	Role string `json:"role"`
+	// Source is the primary's replication URL (followers only).
+	Source string `json:"source,omitempty"`
+	// AppliedSeq is the follower's position: every WAL record at or below
+	// it is reflected in the served summary.
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	// PrimarySeq is the primary's durability frontier as of the last
+	// replication response the follower received.
+	PrimarySeq uint64 `json:"primary_seq,omitempty"`
+	// Lag is max(PrimarySeq−AppliedSeq, 0) in sequence numbers.
+	Lag uint64 `json:"lag,omitempty"`
+	// Resyncs counts full snapshot re-fetches (followers only).
+	Resyncs int64 `json:"resyncs,omitempty"`
+}
+
+// SetReplication installs the probe /healthz calls for the "replication"
+// field. cmd/higgsd installs it in both replication roles; without it the
+// field reports RoleStandalone.
+func (s *Server) SetReplication(fn func() ReplicationStatus) {
+	s.replication.Store(&fn)
+}
+
 // Pipeline returns the ingest pipeline currently feeding the served
 // summary, so operational layers (the background snapshotter) can flush
 // it. With durability enabled the pair is never swapped.
@@ -175,6 +214,49 @@ func NewWithIngest(sum *shard.Summary, icfg ingest.Config) (*Server, error) {
 	s := &Server{icfg: icfg}
 	s.st.Store(&state{sum: sum, pipe: pipe})
 	return s, nil
+}
+
+// NewReplica returns a read-only server over a replication follower's
+// summary: every query endpoint works (the summary is live — the follower
+// applies records under per-shard write locks, exactly like ingest), and
+// every write endpoint answers 403, because a replica's state is defined
+// entirely by the primary's record stream — a local write would fork it.
+// The internal pipeline runs in sync mode purely to satisfy the shared
+// plumbing; no writes ever reach it.
+func NewReplica(sum *shard.Summary) (*Server, error) {
+	s, err := NewWithIngest(sum, ingest.Config{Mode: ingest.ModeSync})
+	if err != nil {
+		return nil, err
+	}
+	s.replica = true
+	return s, nil
+}
+
+// ReplaceSummary swaps the served summary — the replica resync path, wired
+// to repl.FollowerConfig.OnSwap: when the primary truncated past the
+// follower's resume point, the follower re-bootstraps from a fresh
+// snapshot and the server must serve it. The old summary is drained and
+// closed exactly like a snapshot upload's. Only replicas may swap this
+// way; on a writable server the summary pairs with its ingest pipeline
+// and swaps only through POST /v1/snapshot.
+func (s *Server) ReplaceSummary(sum *shard.Summary) error {
+	if !s.replica {
+		return errors.New("server: ReplaceSummary is replica-only")
+	}
+	if s.st.Load().sum == sum {
+		return nil // already serving it (a swap raced the server's construction)
+	}
+	pipe, err := ingest.New(sum, s.icfg)
+	if err != nil {
+		return err
+	}
+	old := s.st.Swap(&state{sum: sum, pipe: pipe})
+	old.pipe.Close()
+	old.sum.Close()
+	if s.closed.Load() {
+		pipe.Close()
+	}
+	return nil
 }
 
 // summary returns the current summary.
@@ -230,6 +312,17 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+// rejectReplicaWrite guards every write endpoint: on a read-only replica
+// it answers 403 and reports true. Writes belong on the primary — a
+// replica's summary is defined by the primary's record stream alone.
+func (s *Server) rejectReplicaWrite(w http.ResponseWriter) bool {
+	if !s.replica {
+		return false
+	}
+	httpError(w, http.StatusForbidden, "read-only replica: writes go to the primary")
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	writeJSONStatus(w, http.StatusOK, v)
 }
@@ -248,6 +341,9 @@ func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.rejectReplicaWrite(w) {
 		return
 	}
 	b, err := decodeBatch(w, r)
@@ -270,6 +366,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.rejectReplicaWrite(w) {
 		return
 	}
 	b, err := decodeBatch(w, r)
@@ -303,6 +402,9 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if s.rejectReplicaWrite(w) {
+		return
+	}
 	st := s.st.Load()
 	st.pipe.Flush()
 	writeJSON(w, map[string]int64{"items": st.sum.Items()})
@@ -324,6 +426,9 @@ type expireRequest struct {
 func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.rejectReplicaWrite(w) {
 		return
 	}
 	var req expireRequest
@@ -402,6 +507,9 @@ func decodeStatus(err error) int {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.rejectReplicaWrite(w) {
 		return
 	}
 	var e Edge
@@ -696,13 +804,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if fn := s.retention.Load(); fn != nil {
 		retention = (*fn)()
 	}
+	replication := ReplicationStatus{Role: RoleStandalone}
+	if fn := s.replication.Load(); fn != nil {
+		replication = (*fn)()
+	}
 	writeJSON(w, map[string]any{
-		"status":     "ok",
-		"shards":     st.sum.NumShards(),
-		"ingest":     st.pipe.Mode().String(),
-		"durability": durability,
-		"retention":  retention,
-		"memory":     readMemory(),
+		"status":      "ok",
+		"shards":      st.sum.NumShards(),
+		"ingest":      st.pipe.Mode().String(),
+		"durability":  durability,
+		"retention":   retention,
+		"replication": replication,
+		"memory":      readMemory(),
 	})
 }
 
@@ -723,6 +836,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case http.MethodPost:
+		if s.rejectReplicaWrite(w) {
+			return
+		}
 		if s.closed.Load() {
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
 			return

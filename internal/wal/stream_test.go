@@ -1,0 +1,295 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"higgs/internal/stream"
+)
+
+// readAll collects every record ReadFrom delivers after `after`, deep-
+// copying edge slices (they are only valid during the callback).
+func readAll(t *testing.T, l *Log, after, upTo uint64) (recs []Record, frontier uint64) {
+	t.Helper()
+	frontier, err := l.ReadFrom(after, upTo, func(rec Record) error {
+		cp := rec
+		cp.Edges = append([]stream.Edge(nil), rec.Edges...)
+		recs = append(recs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadFrom(%d, %d): %v", after, upTo, err)
+	}
+	return recs, frontier
+}
+
+func TestReadFromStreamsDurableTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir, SegmentBytes: 256}) // force rotations
+	defer l.Close()
+
+	var wantRecs int
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(edges(i*5, 5), nil); err != nil {
+			t.Fatal(err)
+		}
+		wantRecs++
+		if i == 4 {
+			if _, err := l.AppendExpire(123, nil); err != nil {
+				t.Fatal(err)
+			}
+			wantRecs++
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	last := l.LastSeq()
+
+	recs, frontier := readAll(t, l, 0, 0)
+	if frontier != last {
+		t.Fatalf("frontier = %d, want %d", frontier, last)
+	}
+	if len(recs) != wantRecs {
+		t.Fatalf("got %d records, want %d", len(recs), wantRecs)
+	}
+	next := uint64(1)
+	var total int
+	for _, rec := range recs {
+		if rec.FirstSeq != next {
+			t.Fatalf("record first seq = %d, want %d", rec.FirstSeq, next)
+		}
+		next = rec.LastSeq() + 1
+		total += len(rec.Edges)
+	}
+	if total != 50 {
+		t.Fatalf("replayed %d edges, want 50", total)
+	}
+
+	// Resuming from a record boundary must deliver exactly the remainder.
+	afterRec := recs[3]
+	tail, _ := readAll(t, l, afterRec.LastSeq(), 0)
+	if len(tail) != wantRecs-4 {
+		t.Fatalf("tail from %d: got %d records, want %d", afterRec.LastSeq(), len(tail), wantRecs-4)
+	}
+	if tail[0].FirstSeq != afterRec.LastSeq()+1 {
+		t.Fatalf("tail starts at %d, want %d", tail[0].FirstSeq, afterRec.LastSeq()+1)
+	}
+
+	// upTo caps the frontier at a record boundary.
+	capped, frontier := readAll(t, l, 0, afterRec.LastSeq())
+	if frontier != afterRec.LastSeq() {
+		t.Fatalf("capped frontier = %d, want %d", frontier, afterRec.LastSeq())
+	}
+	if len(capped) != 4 {
+		t.Fatalf("capped read: got %d records, want 4", len(capped))
+	}
+
+	// Fully caught up: nothing to deliver.
+	none, _ := readAll(t, l, last, 0)
+	if len(none) != 0 {
+		t.Fatalf("caught-up read returned %d records", len(none))
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir, SegmentBytes: 64})
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(edges(i*5, 5), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("want ≥ 3 segments for a meaningful truncation, got %d", l.Segments())
+	}
+	if _, err := l.TruncateThrough(25); err != nil {
+		t.Fatal(err)
+	}
+	floor := l.FirstSeq()
+	if floor <= 1 {
+		t.Fatalf("floor did not advance: %d", floor)
+	}
+	if _, err := l.ReadFrom(0, 0, func(Record) error { return nil }); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadFrom(0) after truncation: err = %v, want ErrTruncated", err)
+	}
+	// Reading from the floor onward still works and reaches the frontier.
+	recs, frontier := readAll(t, l, floor-1, 0)
+	if frontier != l.LastSeq() {
+		t.Fatalf("frontier = %d, want %d", frontier, l.LastSeq())
+	}
+	if recs[0].FirstSeq != floor {
+		t.Fatalf("first record at %d, want %d", recs[0].FirstSeq, floor)
+	}
+}
+
+// TestReadFromConcurrentAppend hammers ReadFrom from a tailing goroutine
+// while another appends — the shape of a live follower. The reader must
+// observe a contiguous, gap-free record stream and never an error.
+func TestReadFromConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir, SegmentBytes: 1024})
+	defer l.Close()
+
+	const batches = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			if _, err := l.Append(edges(i*3, 3), nil); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Errorf("sync: %v", err)
+		}
+	}()
+
+	var after uint64
+	var got int
+	for got < batches*3 {
+		frontier, err := l.ReadFrom(after, 0, func(rec Record) error {
+			if rec.FirstSeq != after+1 {
+				t.Errorf("gap: record at %d, want %d", rec.FirstSeq, after+1)
+			}
+			after = rec.LastSeq()
+			got += len(rec.Edges)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ReadFrom: %v", err)
+		}
+		if frontier <= after {
+			l.WaitSyncedBeyond(after, 50*time.Millisecond)
+		}
+	}
+	wg.Wait()
+	if after != uint64(batches*3) {
+		t.Fatalf("tailed to %d, want %d", after, batches*3)
+	}
+}
+
+func TestWaitSyncedBeyond(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	defer l.Close()
+	// Timeout path: nothing appended, frontier stays 0.
+	start := time.Now()
+	if got := l.WaitSyncedBeyond(0, 30*time.Millisecond); got != 0 {
+		t.Fatalf("frontier = %d, want 0", got)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("WaitSyncedBeyond returned before the timeout")
+	}
+	// Satisfied path: an append's group sync must release the wait.
+	done := make(chan uint64, 1)
+	go func() { done <- l.WaitSyncedBeyond(0, 5*time.Second) }()
+	if _, err := l.Append(edges(0, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got < 3 {
+			t.Fatalf("frontier = %d, want ≥ 3", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitSyncedBeyond did not wake on sync")
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	want := []Record{
+		{Type: RecordEdges, FirstSeq: 1, Edges: edges(0, 4)},
+		{Type: RecordExpire, FirstSeq: 5, Cutoff: -7},
+		{Type: RecordEdges, FirstSeq: 6, Edges: edges(4, 1)},
+	}
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range want {
+		if err := sw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	var got []Record
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := rec
+		cp.Edges = append([]stream.Edge(nil), rec.Edges...)
+		got = append(got, cp)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// A second Next after EOF stays EOF.
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestStreamReaderRefusesDamage(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(Record{Type: RecordEdges, FirstSeq: 1, Edges: edges(0, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty header": full[:3],
+		"torn frame":   full[:len(headerBytes(walVersion))+4],
+		"torn payload": full[:len(full)-2],
+		"flipped byte": append(append([]byte(nil), full[:len(full)-1]...), full[len(full)-1]^0xff),
+		"bad header":   append([]byte{0xde, 0xad}, full[2:]...),
+		"empty stream": nil,
+		"header only":  headerBytes(walVersion),
+		"zero length":  append(append([]byte(nil), headerBytes(walVersion)...), 0, 0, 0, 0, 0, 0, 0, 0),
+	}
+	for name, in := range cases {
+		sr := NewStreamReader(bytes.NewReader(in))
+		var err error
+		for err == nil {
+			_, err = sr.Next()
+		}
+		switch name {
+		case "empty stream", "header only":
+			if err != io.EOF {
+				t.Errorf("%s: err = %v, want io.EOF", name, err)
+			}
+		default:
+			if err == nil || err == io.EOF {
+				t.Errorf("%s: err = %v, want a decode error", name, err)
+			}
+		}
+	}
+	if err := (&StreamWriter{}).Write(Record{Type: RecordType(99), FirstSeq: 1}); err == nil {
+		t.Fatal("unknown record type accepted")
+	}
+	sw2, _ := NewStreamWriter(io.Discard)
+	if err := sw2.Write(Record{Type: RecordEdges, FirstSeq: 1}); err == nil {
+		t.Fatal("empty edge batch accepted")
+	}
+}

@@ -134,8 +134,8 @@ type Record struct {
 	Cutoff   int64
 }
 
-// lastSeq returns the highest sequence number the record covers.
-func (r Record) lastSeq() uint64 {
+// LastSeq returns the highest sequence number the record covers.
+func (r Record) LastSeq() uint64 {
 	if r.Type == RecordEdges {
 		return r.FirstSeq + uint64(len(r.Edges)) - 1
 	}
@@ -462,15 +462,7 @@ func (l *Log) Append(edges []stream.Edge, deliver func(firstSeq uint64) error) (
 	// sequence numbers. Admitting first and rejecting after would let two
 	// batches share sequences, corrupting the watermark invariant.
 	w := l.frameEncoder()
-	w.U64(uint64(RecordEdges))
-	w.U64(first)
-	w.Int(len(edges))
-	for _, e := range edges {
-		w.U64(e.S)
-		w.U64(e.D)
-		w.I64(e.W)
-		w.I64(e.T)
-	}
+	encodeRecordPayload(w, Record{Type: RecordEdges, FirstSeq: first, Edges: edges})
 	if err := w.Flush(); err != nil {
 		l.err = err
 		return 0, err
@@ -510,9 +502,7 @@ func (l *Log) AppendExpire(cutoff int64, deliver func(seq uint64) error) (seq ui
 	}
 	seq = l.nextSeq
 	w := l.frameEncoder()
-	w.U64(uint64(RecordExpire))
-	w.U64(seq)
-	w.I64(cutoff)
+	encodeRecordPayload(w, Record{Type: RecordExpire, FirstSeq: seq, Cutoff: cutoff})
 	if err := w.Flush(); err != nil {
 		l.err = err
 		return 0, err
@@ -855,8 +845,29 @@ func scanSegment(path string, expect uint64, fn func(Record) error) (tail int64,
 				return tail, next, version, nil, err
 			}
 		}
-		next = rec.lastSeq() + 1
+		next = rec.LastSeq() + 1
 		tail += int64(frameHeadLen) + int64(len(payload))
+	}
+}
+
+// encodeRecordPayload writes rec's version-2 payload (record-type prefix
+// included) to w. Append, AppendExpire, and the replication StreamWriter
+// all encode through it, so a record shipped to a follower is
+// byte-identical to its on-disk frame payload.
+func encodeRecordPayload(w *wire.Writer, rec Record) {
+	w.U64(uint64(rec.Type))
+	w.U64(rec.FirstSeq)
+	switch rec.Type {
+	case RecordEdges:
+		w.Int(len(rec.Edges))
+		for _, e := range rec.Edges {
+			w.U64(e.S)
+			w.U64(e.D)
+			w.I64(e.W)
+			w.I64(e.T)
+		}
+	case RecordExpire:
+		w.I64(rec.Cutoff)
 	}
 }
 

@@ -592,7 +592,7 @@ func TestExpireRecordsRotateAndTruncate(t *testing.T) {
 	if len(recs) == 0 {
 		t.Fatal("nothing replayed after truncate")
 	}
-	if end := recs[len(recs)-1].lastSeq(); end != 150 {
+	if end := recs[len(recs)-1].LastSeq(); end != 150 {
 		t.Fatalf("replay after truncate ends at %d, want 150", end)
 	}
 }
