@@ -54,6 +54,19 @@
 //
 //	higgsd -wal-dir /var/lib/higgs -retention-window 24h -retention-interval 1m
 //
+// Read caching & admission control (DESIGN.md §16): -cache-bytes installs
+// a watermark-invalidated read cache on the query planner seam — repeated
+// probes against unmutated shards are answered without taking any shard
+// read lock, and every applied write advances the shard's mutation version
+// so a hit is provably identical to an uncached probe (no TTLs).
+// -admit-heavy and -admit-rate enable admission control above the planner:
+// queries are classified cheap/heavy by planned probe count, each class
+// runs under its own concurrency budget with a bounded wait queue, and
+// per-client token buckets shed sustained overload with 429 + Retry-After.
+// /healthz reports both subsystems' counters.
+//
+//	higgsd -cache-bytes 67108864 -admit-heavy 4 -admit-rate 200
+//
 // Replication (DESIGN.md §15): -replication-addr serves the WAL-shipping
 // feed (/repl/info, /repl/snapshot, /repl/wal) on a separate, private
 // listener. A follower started with -replicate-from boots from the
@@ -88,6 +101,7 @@ import (
 	"syscall"
 	"time"
 
+	"higgs/internal/admit"
 	"higgs/internal/ingest"
 	"higgs/internal/repl"
 	"higgs/internal/server"
@@ -117,8 +131,18 @@ func main() {
 		replAddr   = flag.String("replication-addr", "", "serve the WAL-shipping replication feed (/repl/*) on this address; requires -wal-dir (empty = disabled); keep it private — it ships the raw log")
 		replFrom   = flag.String("replicate-from", "", "run as a read-only follower of this primary replication URL (e.g. http://primary:9090): reads served, writes answer 403")
 		replicaDir = flag.String("replica-dir", "", "follower state directory holding the local snapshot cache, so restarts resume from disk; requires -replicate-from")
+
+		cacheBytes = flag.Int64("cache-bytes", 0, "watermark-invalidated read cache byte budget across all shards (0 = disabled, minimum 64KiB)")
+		admitHeavy = flag.Int("admit-heavy", 0, "concurrent heavy-query budget; enables admission control (0 = class budgets at defaults unless -admit-rate set)")
+		admitRate  = flag.Float64("admit-rate", 0, "per-client sustained queries/sec token-bucket rate; enables admission control (0 = no per-client rate limit)")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("higgsd %s\n", server.BuildVersion())
+		return
+	}
 
 	imode, err := ingest.ParseMode(*mode)
 	if err != nil {
@@ -158,10 +182,16 @@ func main() {
 		log.Fatal("higgsd: -replicate-from conflicts with -replication-addr (chained replication is not supported)")
 	case *snapIvl > 0 && *walDir == "" && *replicaDir == "":
 		log.Fatal("higgsd: -snapshot-interval requires -wal-dir (or -replica-dir on a follower)")
+	case *cacheBytes < 0:
+		log.Fatalf("higgsd: -cache-bytes %d, need ≥ 0", *cacheBytes)
+	case *admitHeavy < 0:
+		log.Fatalf("higgsd: -admit-heavy %d, need ≥ 0", *admitHeavy)
+	case *admitRate < 0:
+		log.Fatalf("higgsd: -admit-rate %v, need ≥ 0", *admitRate)
 	}
 
 	if *replFrom != "" {
-		runFollower(*addr, *replFrom, *replicaDir, *snapIvl, *save, *pprof)
+		runFollower(*addr, *replFrom, *replicaDir, *snapIvl, *save, *pprof, *cacheBytes, *admitHeavy, *admitRate)
 		return
 	}
 	icfg := ingest.DefaultConfig()
@@ -203,6 +233,9 @@ func main() {
 
 	srv, err := server.NewWithIngest(sum, icfg)
 	if err != nil {
+		log.Fatalf("higgsd: %v", err)
+	}
+	if err := setupReadPath(srv, *cacheBytes, *admitHeavy, *admitRate); err != nil {
 		log.Fatalf("higgsd: %v", err)
 	}
 	var snapper *ingest.Snapshotter
@@ -340,7 +373,32 @@ func main() {
 // read-only, and keep tailing until shutdown. A resync — the primary
 // truncated past our resume point — swaps the served summary atomically
 // via server.ReplaceSummary.
-func runFollower(addr, source, dir string, snapIvl time.Duration, save, pprofAddr string) {
+// setupReadPath installs the optional read cache and admission controller
+// (DESIGN.md §16) on a constructed server — shared between the primary and
+// follower entrypoints, since a follower's read path benefits from both at
+// least as much (that is where the read traffic scales out to).
+func setupReadPath(srv *server.Server, cacheBytes int64, admitHeavy int, admitRate float64) error {
+	if cacheBytes > 0 {
+		if err := srv.SetReadCache(cacheBytes); err != nil {
+			return err
+		}
+		log.Printf("higgsd: read cache enabled (%d bytes)", cacheBytes)
+	}
+	if admitHeavy > 0 || admitRate > 0 {
+		ctrl, err := admit.New(admit.Config{
+			HeavyConcurrency: admitHeavy,
+			Rate:             admitRate,
+		})
+		if err != nil {
+			return err
+		}
+		srv.SetAdmission(ctrl)
+		log.Printf("higgsd: admission control enabled (heavy=%d rate=%v/s)", admitHeavy, admitRate)
+	}
+	return nil
+}
+
+func runFollower(addr, source, dir string, snapIvl time.Duration, save, pprofAddr string, cacheBytes int64, admitHeavy int, admitRate float64) {
 	// The server is built after the follower boots (it serves the booted
 	// summary), but a resync can fire as soon as the tail loop starts; the
 	// swap callback waits for the pointer. ReplaceSummary no-ops when the
@@ -370,6 +428,9 @@ func runFollower(addr, source, dir string, snapIvl time.Duration, save, pprofAdd
 	}
 	srv, err := server.NewReplica(f.Summary())
 	if err != nil {
+		log.Fatalf("higgsd: %v", err)
+	}
+	if err := setupReadPath(srv, cacheBytes, admitHeavy, admitRate); err != nil {
 		log.Fatalf("higgsd: %v", err)
 	}
 	srvPtr.Store(srv)

@@ -26,9 +26,11 @@ import (
 	"io"
 	"time"
 
+	"higgs/internal/admit"
 	"higgs/internal/core"
 	"higgs/internal/ingest"
 	"higgs/internal/query"
+	"higgs/internal/rcache"
 	"higgs/internal/repl"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
@@ -256,6 +258,57 @@ type FollowerStatus = repl.Status
 // NewFollower validates the configuration and returns an unstarted
 // follower; Start performs the boot fetch and launches the tail loop.
 func NewFollower(cfg FollowerConfig) (*Follower, error) { return repl.NewFollower(cfg) }
+
+// ReadCache is a watermark-invalidated read cache over a Sharded summary
+// (or any rcache.Backend): it memoizes single-shard probe results keyed by
+// (shard, probe, shard mutation version), so a hit is provably identical
+// to an uncached probe — every applied write advances the shard's version,
+// and there are no TTLs. The cache implements the same prober seam the
+// query planner runs on, so Do and DoBatch work unchanged on top of it; a
+// batch whose probes all hit touches no shard read lock at all. See
+// package rcache and DESIGN.md §16.
+type ReadCache = rcache.Cache
+
+// ReadCacheConfig parameterizes a ReadCache: the total byte budget split
+// across the backend's shards, evicted LRU-first.
+type ReadCacheConfig = rcache.Config
+
+// ReadCacheStats is a point-in-time snapshot of a ReadCache's counters.
+type ReadCacheStats = rcache.Stats
+
+// NewReadCache returns a read cache over the sharded summary. Queries run
+// through the cache (query.Do / query.DoBatch with the cache as prober);
+// writes keep going to the summary directly — the per-shard mutation
+// version invalidates affected entries automatically.
+func NewReadCache(s *Sharded, cfg ReadCacheConfig) (*ReadCache, error) { return rcache.New(s, cfg) }
+
+// Admission is an admission controller for query traffic: queries are
+// classified cheap or heavy by planned probe count, each class runs under
+// its own concurrency budget with a bounded wait queue, and per-client
+// token buckets shed sustained overload. See package admit and
+// DESIGN.md §16.
+type Admission = admit.Controller
+
+// AdmissionConfig parameterizes an Admission controller: the heavy-class
+// probe threshold, per-class concurrency budgets and queue depths, the
+// bounded queue wait, and the per-client rate/burst.
+type AdmissionConfig = admit.Config
+
+// AdmissionStats is a point-in-time snapshot of an Admission controller's
+// counters.
+type AdmissionStats = admit.Stats
+
+// Admission rejection errors: ErrOverloaded when a class's queue is full
+// (or the wait timed out), ErrRateLimited when a client exhausted its
+// token bucket.
+var (
+	ErrOverloaded  = admit.ErrOverloaded
+	ErrRateLimited = admit.ErrRateLimited
+)
+
+// NewAdmission validates the configuration (zero values take defaults) and
+// returns an admission controller.
+func NewAdmission(cfg AdmissionConfig) (*Admission, error) { return admit.New(cfg) }
 
 // Query describes one temporal range query of any kind — edge, vertex
 // (out / in), path, or subgraph — over a closed [Ts, Te] window; build

@@ -1,0 +1,318 @@
+// Package admit is admission control for the read path: it sits above the
+// query planner and decides, before any shard lock is taken, whether a
+// request may run now, must wait briefly, or is shed. Requests are
+// classified cheap or heavy by their planned probe count
+// (query.ProbeCount) — the same number the planner will execute — so a
+// heavy vertex-in/subgraph fan-out or a huge batch queues against other
+// heavy work instead of starving point probes. Each class has a
+// concurrency budget with a bounded wait queue; per-client token buckets
+// cap individual tenants' request rates. Overflow returns typed errors the
+// HTTP layer maps to 429 + Retry-After (DESIGN.md §16).
+package admit
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shed reasons, mapped to 429 by the server.
+var (
+	// ErrOverloaded: the class's concurrency budget and wait queue are
+	// full, or the wait timed out.
+	ErrOverloaded = errors.New("admit: class budget exhausted")
+	// ErrRateLimited: the client exceeded its per-client request rate.
+	ErrRateLimited = errors.New("admit: client rate limit exceeded")
+)
+
+// maxClients bounds the token-bucket map; reaching it triggers a sweep of
+// buckets that have fully refilled (idle clients), so a rotating client
+// population cannot grow the map without bound.
+const maxClients = 65536
+
+// Config parameterizes a Controller. The zero value of any field selects
+// the documented default.
+type Config struct {
+	// HeavyProbes classifies requests: a request whose total planned
+	// probe count exceeds this is heavy. Default 32 — a point probe is 1,
+	// a vertex-in fan-out is one probe per shard, so on typical shard
+	// counts everything but large batches and big fan-outs stays cheap.
+	HeavyProbes int
+	// CheapConcurrency / HeavyConcurrency are the per-class budgets of
+	// requests executing simultaneously. Defaults: 4×GOMAXPROCS cheap
+	// (point probes are lock-bound, not CPU-bound), GOMAXPROCS heavy.
+	CheapConcurrency int
+	HeavyConcurrency int
+	// CheapQueue / HeavyQueue bound how many requests may wait for a slot
+	// before new arrivals are shed immediately. Defaults: 4× the class
+	// concurrency.
+	CheapQueue int
+	HeavyQueue int
+	// MaxWait bounds how long a queued request waits for a slot before it
+	// is shed. Default 250ms: past that, callers are better served by a
+	// fast 429 + retry than by a slow answer.
+	MaxWait time.Duration
+	// Rate, when > 0, enables per-client token buckets admitting Rate
+	// requests/second with Burst headroom. Default off.
+	Rate float64
+	// Burst is the bucket size (default 2×Rate, minimum 1).
+	Burst float64
+	// RetryAfter is the pacing hint returned to shed clients. Default 1s.
+	RetryAfter time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	procs := runtime.GOMAXPROCS(0)
+	if c.HeavyProbes <= 0 {
+		c.HeavyProbes = 32
+	}
+	if c.CheapConcurrency <= 0 {
+		c.CheapConcurrency = 4 * procs
+	}
+	if c.HeavyConcurrency <= 0 {
+		c.HeavyConcurrency = procs
+	}
+	if c.CheapQueue <= 0 {
+		c.CheapQueue = 4 * c.CheapConcurrency
+	}
+	if c.HeavyQueue <= 0 {
+		c.HeavyQueue = 4 * c.HeavyConcurrency
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 250 * time.Millisecond
+	}
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.Rate
+	}
+	if c.Rate > 0 && c.Burst < 1 {
+		c.Burst = 1
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Rate < 0 {
+		return fmt.Errorf("admit: Rate = %g, need >= 0", c.Rate)
+	}
+	if c.HeavyProbes < 0 || c.CheapConcurrency < 0 || c.HeavyConcurrency < 0 ||
+		c.CheapQueue < 0 || c.HeavyQueue < 0 {
+		return errors.New("admit: negative budget")
+	}
+	return nil
+}
+
+// classLimiter is one class's concurrency budget: a semaphore (buffered
+// channel) plus a bounded count of waiters. Arrivals past budget+queue
+// shed immediately; queued arrivals shed after MaxWait.
+type classLimiter struct {
+	slots    chan struct{}
+	queueCap int64
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+}
+
+func newClassLimiter(concurrency, queue int) *classLimiter {
+	return &classLimiter{slots: make(chan struct{}, concurrency), queueCap: int64(queue)}
+}
+
+func (l *classLimiter) acquire(maxWait time.Duration) error {
+	select {
+	case l.slots <- struct{}{}:
+		l.inflight.Add(1)
+		l.admitted.Add(1)
+		return nil
+	default:
+	}
+	if l.waiting.Add(1) > l.queueCap {
+		l.waiting.Add(-1)
+		l.shed.Add(1)
+		return ErrOverloaded
+	}
+	t := time.NewTimer(maxWait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		l.waiting.Add(-1)
+		l.inflight.Add(1)
+		l.admitted.Add(1)
+		return nil
+	case <-t.C:
+		l.waiting.Add(-1)
+		l.shed.Add(1)
+		return ErrOverloaded
+	}
+}
+
+func (l *classLimiter) release() {
+	l.inflight.Add(-1)
+	<-l.slots
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter maps clients to token buckets. A single mutex suffices: the
+// critical section is a map lookup and a few float ops, far cheaper than
+// the query behind it.
+type rateLimiter struct {
+	rate, burst float64
+	now         func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func (r *rateLimiter) allow(client string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	b := r.buckets[client]
+	if b == nil {
+		if len(r.buckets) >= maxClients {
+			r.sweep(now)
+		}
+		b = &bucket{tokens: r.burst, last: now}
+		r.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * r.rate
+		if b.tokens > r.burst {
+			b.tokens = r.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// sweep drops buckets that have fully refilled: an idle client's bucket
+// carries no state a fresh one would not. Caller holds r.mu.
+func (r *rateLimiter) sweep(now time.Time) {
+	full := time.Duration(float64(time.Second) * r.burst / r.rate)
+	for k, b := range r.buckets {
+		if now.Sub(b.last) >= full {
+			delete(r.buckets, k)
+		}
+	}
+}
+
+// ClassStats is one class's point-in-time admission counters.
+type ClassStats struct {
+	Limit    int    `json:"limit"`     // concurrency budget
+	InFlight int64  `json:"in_flight"` // admitted, not yet released
+	Queued   int64  `json:"queued"`    // waiting for a slot
+	Admitted uint64 `json:"admitted"`  // lifetime admissions
+	Shed     uint64 `json:"shed"`      // lifetime rejections (queue full or wait timeout)
+}
+
+// Stats is a point-in-time snapshot for /healthz.
+type Stats struct {
+	HeavyProbes int        `json:"heavy_probes"` // classification threshold
+	Cheap       ClassStats `json:"cheap"`
+	Heavy       ClassStats `json:"heavy"`
+	RateLimited uint64     `json:"rate_limited"` // lifetime per-client rate rejections
+	Clients     int        `json:"clients"`      // tracked token buckets
+}
+
+// Controller admits or sheds read requests. Safe for concurrent use.
+type Controller struct {
+	cfg   Config
+	cheap *classLimiter
+	heavy *classLimiter
+	rate  *rateLimiter
+
+	rateLimited atomic.Uint64
+}
+
+// New builds a controller; zero Config fields take defaults.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:   cfg,
+		cheap: newClassLimiter(cfg.CheapConcurrency, cfg.CheapQueue),
+		heavy: newClassLimiter(cfg.HeavyConcurrency, cfg.HeavyQueue),
+	}
+	if cfg.Rate > 0 {
+		c.rate = &rateLimiter{rate: cfg.Rate, burst: cfg.Burst, now: cfg.now, buckets: make(map[string]*bucket)}
+	}
+	return c, nil
+}
+
+// Heavy reports whether a request planning the given total probe count is
+// classified heavy.
+func (c *Controller) Heavy(probes int) bool { return probes > c.cfg.HeavyProbes }
+
+// Admit asks to run a request planning the given total probe count on
+// behalf of client (an opaque tenant key — the server uses the peer
+// host). On success it returns a release function the caller must invoke
+// exactly once when the request finishes; on failure it returns
+// ErrRateLimited or ErrOverloaded and the request must be shed. The
+// rate check precedes queueing so a rate-abusive client cannot occupy
+// queue slots.
+func (c *Controller) Admit(client string, probes int) (release func(), err error) {
+	if c.rate != nil && !c.rate.allow(client) {
+		c.rateLimited.Add(1)
+		return nil, ErrRateLimited
+	}
+	l := c.cheap
+	if c.Heavy(probes) {
+		l = c.heavy
+	}
+	if err := l.acquire(c.cfg.MaxWait); err != nil {
+		return nil, err
+	}
+	return l.release, nil
+}
+
+// RetryAfter is the pacing hint for shed requests.
+func (c *Controller) RetryAfter() time.Duration { return c.cfg.RetryAfter }
+
+// Stats returns a point-in-time snapshot of the controller's counters.
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		HeavyProbes: c.cfg.HeavyProbes,
+		Cheap:       c.cheap.stats(),
+		Heavy:       c.heavy.stats(),
+		RateLimited: c.rateLimited.Load(),
+	}
+	if c.rate != nil {
+		c.rate.mu.Lock()
+		st.Clients = len(c.rate.buckets)
+		c.rate.mu.Unlock()
+	}
+	return st
+}
+
+func (l *classLimiter) stats() ClassStats {
+	return ClassStats{
+		Limit:    cap(l.slots),
+		InFlight: l.inflight.Load(),
+		Queued:   l.waiting.Load(),
+		Admitted: l.admitted.Load(),
+		Shed:     l.shed.Load(),
+	}
+}

@@ -1,0 +1,196 @@
+package admit
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClassification(t *testing.T) {
+	c, err := New(Config{HeavyProbes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Heavy(1) || c.Heavy(8) {
+		t.Fatal("cheap probe counts classified heavy")
+	}
+	if !c.Heavy(9) {
+		t.Fatal("9 probes with threshold 8 classified cheap")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New(Config{Rate: -1}); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Fatalf("rejected zero config: %v", err)
+	}
+}
+
+// TestConcurrencyBudgetAndQueue pins the shed ladder: budget slots admit
+// immediately, queue slots wait, and everything past budget+queue sheds
+// with ErrOverloaded at once.
+func TestConcurrencyBudgetAndQueue(t *testing.T) {
+	c, err := New(Config{
+		HeavyProbes:      1,
+		HeavyConcurrency: 2,
+		HeavyQueue:       1,
+		CheapConcurrency: 1,
+		CheapQueue:       1,
+		MaxWait:          50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the heavy budget.
+	rel1, err := c.Admit("a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Admit("a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Third request queues; release a slot and it must get in.
+	got := make(chan error, 1)
+	go func() {
+		rel, err := c.Admit("a", 10)
+		if err == nil {
+			defer rel()
+		}
+		got <- err
+	}()
+	for c.Stats().Heavy.Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue is now full (cap 1): a fourth arrival sheds immediately.
+	if _, err := c.Admit("a", 10); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow past queue: err = %v, want ErrOverloaded", err)
+	}
+	rel1()
+	if err := <-got; err != nil {
+		t.Fatalf("queued request shed after slot freed: %v", err)
+	}
+	rel2()
+
+	// Heavy pressure must not affect the cheap class.
+	relC, err := c.Admit("a", 1)
+	if err != nil {
+		t.Fatalf("cheap admit under heavy pressure: %v", err)
+	}
+	relC()
+
+	st := c.Stats()
+	if st.Heavy.Shed == 0 || st.Heavy.Admitted < 3 {
+		t.Fatalf("heavy stats: %+v", st.Heavy)
+	}
+}
+
+// TestQueueWaitTimesOut pins MaxWait: with the budget stuck, a queued
+// request sheds after the wait bound rather than hanging.
+func TestQueueWaitTimesOut(t *testing.T) {
+	c, err := New(Config{CheapConcurrency: 1, CheapQueue: 4, MaxWait: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := c.Admit("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := c.Admit("a", 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("shed after %v, before MaxWait", d)
+	}
+}
+
+// TestPerClientRate pins the token buckets: a burst drains the bucket,
+// refill restores it, and clients are isolated from each other.
+func TestPerClientRate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c, err := New(Config{Rate: 10, Burst: 2, now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rel, err := c.Admit("a", 1)
+		if err != nil {
+			t.Fatalf("burst request %d: %v", i, err)
+		}
+		rel()
+	}
+	if _, err := c.Admit("a", 1); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("drained bucket: err = %v, want ErrRateLimited", err)
+	}
+	// Another client is unaffected.
+	if rel, err := c.Admit("b", 1); err != nil {
+		t.Fatalf("isolated client rate-limited: %v", err)
+	} else {
+		rel()
+	}
+	// 100ms at 10/s refills one token.
+	now = now.Add(100 * time.Millisecond)
+	if rel, err := c.Admit("a", 1); err != nil {
+		t.Fatalf("post-refill: %v", err)
+	} else {
+		rel()
+	}
+	st := c.Stats()
+	if st.RateLimited != 1 || st.Clients != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestConcurrentAdmitRelease hammers Admit/release from many goroutines;
+// run under -race this checks the counters and semaphore, and at the end
+// nothing may remain in flight.
+func TestConcurrentAdmitRelease(t *testing.T) {
+	c, err := New(Config{
+		CheapConcurrency: 4, HeavyConcurrency: 2,
+		CheapQueue: 8, HeavyQueue: 4,
+		MaxWait: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				probes := 1
+				if i%3 == 0 {
+					probes = 100
+				}
+				rel, err := c.Admit("client", probes)
+				if err != nil {
+					shed.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Cheap.InFlight != 0 || st.Heavy.InFlight != 0 || st.Cheap.Queued != 0 || st.Heavy.Queued != 0 {
+		t.Fatalf("leaked in-flight/queued after drain: %+v", st)
+	}
+	if got := int64(st.Cheap.Admitted + st.Heavy.Admitted); got != admitted.Load() {
+		t.Fatalf("admitted counter %d, callers saw %d", got, admitted.Load())
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+}

@@ -34,6 +34,7 @@ var registry = []Experiment{
 	{"retention", "Extra: durable retention — crash recovery with interleaved expires", Retention},
 	{"allocs", "Extra: hot-path allocation gate — 0 allocs/op + insert throughput", Allocs},
 	{"replication", "Extra: WAL-shipping replication — follower byte-equality + read scale-out", Replication},
+	{"readcache", "Extra: watermark-invalidated read cache — equivalence + zero-lock hits (internal/rcache)", ReadCache},
 }
 
 // Experiments lists all registered experiments in presentation order.

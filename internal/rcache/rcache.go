@@ -1,0 +1,300 @@
+// Package rcache is a watermark-invalidated read cache on the
+// query.Prober seam: it wraps a sharded summary and memoizes single-shard
+// probe results keyed by (shard, probe, shard mutation version). The
+// mutation version (shard.ShardVersion) advances under the shard's write
+// lock on every applied mutation, so a cached value whose version equals
+// the shard's current version is provably identical to what an uncached
+// probe would return — no TTLs, no staleness window beyond what any
+// concurrent uncached read already has (DESIGN.md §16).
+//
+// The cache itself implements query.Prober, so the existing planner
+// (query.Do / query.DoBatch) runs unchanged on top of it: the batch
+// planner still groups probes by shard, and the cache intercepts each
+// per-shard group. A group whose probes all hit is answered without
+// touching the backend at all — zero shard read-lock acquisitions,
+// strengthening the planner's ≤1-lock-per-shard-per-batch invariant to 0
+// for hot shards. Misses fall through in a single backend ProbeShard call
+// (the planner's existing one lock acquisition) and fill the cache only
+// when the shard's version is unchanged across the probe — the
+// version-fence that makes a fill attributable to an exact version.
+//
+// Caching is probe-grained rather than query-grained: an edge query, the
+// constituent edges of path and subgraph queries, and repeated vertex
+// fan-outs all share entries, which is the canonical-key property the
+// planner's probe decomposition provides for free.
+package rcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"higgs/internal/query"
+)
+
+// Backend is what the cache wraps: the sharded read surface plus the
+// per-shard mutation version used as the invalidation token.
+// *shard.Summary implements it.
+type Backend interface {
+	query.Prober
+	// ShardVersion returns shard i's current mutation version without
+	// locking. It must advance (monotonically, before the write lock is
+	// released) on every mutation that may change a probe result.
+	ShardVersion(i int) uint64
+}
+
+// entryBytes is the accounting cost of one cache entry: the entry struct
+// (key copy, value, version, LRU links) plus amortized map bucket and
+// pointer overhead. An estimate — the budget bounds memory, it does not
+// meter it exactly.
+const entryBytes = 120
+
+// MinBytes is the smallest accepted byte budget: below one entry per
+// shard the cache could never hit and the configuration is almost
+// certainly a mistake.
+const MinBytes = 64 << 10
+
+// Config parameterizes a cache.
+type Config struct {
+	// MaxBytes is the total byte budget across all cache shards. Each of
+	// the backend's shards gets an equal slice, evicted LRU-first.
+	MaxBytes int64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.MaxBytes < MinBytes {
+		return fmt.Errorf("rcache: MaxBytes = %d, need >= %d", c.MaxBytes, MinBytes)
+	}
+	return nil
+}
+
+// key identifies one single-shard probe. Probes are value types with no
+// indirection, so the comparable struct is the canonical query key: two
+// queries that decompose into the same probe share the entry regardless of
+// which kind (edge, path constituent, subgraph constituent) produced it.
+type key struct {
+	op     query.Op
+	s, d   uint64
+	ts, te int64
+}
+
+// entry is one cached probe result, valid only while its shard's mutation
+// version still equals ver. Entries are intrusive LRU list nodes.
+type entry struct {
+	k          key
+	val        int64
+	ver        uint64
+	prev, next *entry
+}
+
+// cacheShard is the cache partition mirroring one backend shard. Its
+// mutex guards only the map and LRU list — never held across backend
+// calls, so cache maintenance cannot extend any shard read-lock hold.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[key]*entry
+	head    entry // sentinel: head.next is most recent, head.prev least
+	budget  int64
+	bytes   atomic.Int64
+	count   atomic.Int64
+}
+
+func (cs *cacheShard) init(budget int64) {
+	cs.entries = make(map[key]*entry)
+	cs.head.next = &cs.head
+	cs.head.prev = &cs.head
+	cs.budget = budget
+}
+
+// moveFront makes e the most recently used entry. Caller holds cs.mu.
+func (cs *cacheShard) moveFront(e *entry) {
+	if cs.head.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.next = cs.head.next
+	e.prev = &cs.head
+	cs.head.next.prev = e
+	cs.head.next = e
+}
+
+// remove unlinks and deletes e. Caller holds cs.mu.
+func (cs *cacheShard) remove(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	delete(cs.entries, e.k)
+	cs.bytes.Add(-entryBytes)
+	cs.count.Add(-1)
+}
+
+// Stats is a point-in-time counter snapshot for /healthz.
+type Stats struct {
+	Hits      uint64 `json:"hits"`      // probes answered from the cache
+	Misses    uint64 `json:"misses"`    // probes that fell through to the backend
+	Evictions uint64 `json:"evictions"` // entries displaced by budget pressure or staleness
+	Entries   int64  `json:"entries"`   // live entries right now
+	Bytes     int64  `json:"bytes"`     // accounted bytes right now
+	MaxBytes  int64  `json:"max_bytes"` // configured budget
+}
+
+// Cache memoizes probe results over a Backend. It is safe for concurrent
+// use; its zero value is not usable — construct with New.
+type Cache struct {
+	b      Backend
+	shards []cacheShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// New builds a cache over b. The byte budget is split evenly across b's
+// shards; a budget slice always admits at least one entry, so even
+// MaxBytes/shards < entryBytes degrades to a 1-entry-per-shard cache
+// rather than one that silently never fills.
+func New(b Backend, cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := b.NumShards()
+	c := &Cache{b: b, shards: make([]cacheShard, n)}
+	budget := cfg.MaxBytes / int64(n)
+	if budget < entryBytes {
+		budget = entryBytes
+	}
+	for i := range c.shards {
+		c.shards[i].init(budget)
+	}
+	return c, nil
+}
+
+// NumShards implements query.Prober by delegation.
+func (c *Cache) NumShards() int { return c.b.NumShards() }
+
+// ShardFor implements query.Prober by delegation.
+func (c *Cache) ShardFor(v uint64) int { return c.b.ShardFor(v) }
+
+// ProbeShard answers one planned per-shard probe group, serving hits from
+// the cache and evaluating only the missing probes against the backend.
+//
+// Protocol (the version fence):
+//
+//  1. ver ← backend.ShardVersion(i) — one atomic load, no lock.
+//  2. Under the cache shard's own mutex, look every probe up; an entry
+//     counts as a hit only if entry.ver == ver. Stale entries are evicted
+//     on sight.
+//  3. If nothing missed, return: the backend was never touched, so a
+//     full-hit group costs zero shard read locks.
+//  4. Otherwise evaluate the misses with one backend.ProbeShard call —
+//     exactly the single lock acquisition the planner already budgeted.
+//  5. Fill the cache with the miss results only if ShardVersion(i) still
+//     equals ver. Equal reads bracket a window in which no mutation
+//     completed (the version is bumped before the write lock is
+//     released), so the probed values are exactly the shard's state at
+//     version ver; if the version moved, the results are still returned —
+//     they are a legal concurrent read — but must not be memoized,
+//     because they cannot be attributed to a single version.
+//
+// Monotonicity of the version rules out ABA: a re-observed value implies
+// an unchanged shard, not a changed-and-restored counter.
+func (c *Cache) ProbeShard(i int, probes []query.Probe, out []int64) {
+	cs := &c.shards[i]
+	ver := c.b.ShardVersion(i)
+
+	var missProbes []query.Probe
+	var missIdx []int
+	cs.mu.Lock()
+	for j, p := range probes {
+		k := key{op: p.Op, s: p.S, d: p.D, ts: p.Ts, te: p.Te}
+		if e, ok := cs.entries[k]; ok {
+			if e.ver == ver {
+				out[j] = e.val
+				cs.moveFront(e)
+				continue
+			}
+			// Stale: the shard mutated since this was filled. Evict now
+			// rather than waiting for LRU pressure; the refill below
+			// re-creates it at the current version.
+			cs.remove(e)
+			c.evictions.Add(1)
+		}
+		if missProbes == nil {
+			missProbes = make([]query.Probe, 0, len(probes)-j)
+			missIdx = make([]int, 0, len(probes)-j)
+		}
+		missProbes = append(missProbes, p)
+		missIdx = append(missIdx, j)
+	}
+	cs.mu.Unlock()
+
+	c.hits.Add(uint64(len(probes) - len(missProbes)))
+	c.misses.Add(uint64(len(missProbes)))
+	if len(missProbes) == 0 {
+		return
+	}
+
+	missVals := make([]int64, len(missProbes))
+	c.b.ProbeShard(i, missProbes, missVals)
+	for j, idx := range missIdx {
+		out[idx] = missVals[j]
+	}
+	if c.b.ShardVersion(i) != ver {
+		return // concurrent write: results are valid to serve, unsafe to memoize
+	}
+
+	cs.mu.Lock()
+	for j, p := range missProbes {
+		k := key{op: p.Op, s: p.S, d: p.D, ts: p.Ts, te: p.Te}
+		if e, ok := cs.entries[k]; ok {
+			// A concurrent filler beat us here; both fills fenced on the
+			// same version, so the values agree.
+			e.val = missVals[j]
+			e.ver = ver
+			cs.moveFront(e)
+			continue
+		}
+		e := &entry{k: k, val: missVals[j], ver: ver}
+		cs.entries[k] = e
+		e.next = cs.head.next
+		e.prev = &cs.head
+		cs.head.next.prev = e
+		cs.head.next = e
+		cs.bytes.Add(entryBytes)
+		cs.count.Add(1)
+	}
+	for cs.bytes.Load() > cs.budget {
+		lru := cs.head.prev
+		if lru == &cs.head {
+			break
+		}
+		cs.remove(lru)
+		c.evictions.Add(1)
+	}
+	cs.mu.Unlock()
+}
+
+// Do answers one query through the cache — the same planner Sharded.Do
+// runs, with the cache as the prober.
+func (c *Cache) Do(q query.Query) query.Result { return query.Do(c, q) }
+
+// DoBatch answers a batch through the cache: per-shard probe groups whose
+// probes all hit never touch the backend, so a hot batch costs zero shard
+// read-lock acquisitions.
+func (c *Cache) DoBatch(qs []query.Query) []query.Result { return query.DoBatch(c, qs) }
+
+// Stats returns a point-in-time snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		st.Entries += c.shards[i].count.Load()
+		st.Bytes += c.shards[i].bytes.Load()
+		st.MaxBytes += c.shards[i].budget
+	}
+	return st
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"higgs/internal/admit"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
 )
@@ -152,7 +153,10 @@ func TestReplicaReplaceSummary(t *testing.T) {
 // set, nested field names, and the replication block for each role — so a
 // monitoring consumer can rely on it.
 func TestHealthzContract(t *testing.T) {
-	topKeys := []string{"durability", "ingest", "memory", "replication", "retention", "shards", "status"}
+	topKeys := []string{
+		"admission", "durability", "ingest", "memory", "read_cache",
+		"replication", "retention", "shards", "status", "uptime_seconds", "version",
+	}
 	memKeys := []string{"heap_alloc_bytes", "heap_inuse_bytes", "mallocs", "num_gc", "total_alloc_bytes"}
 
 	cases := []struct {
@@ -275,7 +279,91 @@ func TestHealthzContract(t *testing.T) {
 			if !reflect.DeepEqual(repl, tc.repl) {
 				t.Fatalf("replication = %v, want %v", repl, tc.repl)
 			}
+
+			var readCache map[string]any
+			if err := json.Unmarshal(got["read_cache"], &readCache); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := readCache["enabled"]; !ok {
+				t.Fatalf("read_cache %v missing enabled field", readCache)
+			}
+			var admission map[string]any
+			if err := json.Unmarshal(got["admission"], &admission); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := admission["enabled"]; !ok {
+				t.Fatalf("admission %v missing enabled field", admission)
+			}
+			var uptime float64
+			if err := json.Unmarshal(got["uptime_seconds"], &uptime); err != nil {
+				t.Fatalf("uptime_seconds not a number: %v", err)
+			}
+			if uptime < 0 {
+				t.Fatalf("uptime_seconds = %v, want >= 0", uptime)
+			}
+			var version string
+			if err := json.Unmarshal(got["version"], &version); err != nil {
+				t.Fatalf("version not a string: %v", err)
+			}
+			if version == "" {
+				t.Fatal("version is empty")
+			}
 		})
+	}
+}
+
+// TestHealthzCacheAndAdmissionEnabled pins the enabled-side shape of the
+// read_cache and admission blocks: counters appear once the features are
+// switched on and reflect served traffic.
+func TestHealthzCacheAndAdmissionEnabled(t *testing.T) {
+	srv, ts := newTestServerShards(t, 2)
+	if err := srv.SetReadCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := admit.New(admit.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetAdmission(ctrl)
+
+	post(t, ts.URL+"/v1/insert", `[{"s":1,"d":2,"w":3,"t":10}]`)
+	// Two identical queries: a miss then a hit.
+	for i := 0; i < 2; i++ {
+		resp := get(t, ts.URL+"/v1/edge?s=1&d=2&ts=0&te=100")
+		if got := decode[map[string]int64](t, resp); got["weight"] != 3 {
+			t.Fatalf("edge weight = %v, want 3", got)
+		}
+	}
+
+	resp := get(t, ts.URL+"/healthz")
+	var health struct {
+		ReadCache struct {
+			Enabled bool   `json:"enabled"`
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+			Max     int64  `json:"max_bytes"`
+		} `json:"read_cache"`
+		Admission struct {
+			Enabled bool `json:"enabled"`
+			Cheap   struct {
+				Admitted uint64 `json:"admitted"`
+			} `json:"cheap"`
+		} `json:"admission"`
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	rc, adm := health.ReadCache, health.Admission
+	if !rc.Enabled || rc.Hits == 0 || rc.Misses == 0 || rc.Max == 0 {
+		t.Fatalf("read_cache block = %+v, want enabled with hit+miss traffic", rc)
+	}
+	if !adm.Enabled || adm.Cheap.Admitted < 2 {
+		t.Fatalf("admission block = %+v, want enabled with >= 2 cheap admissions", adm)
 	}
 }
 

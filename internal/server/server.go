@@ -53,15 +53,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"higgs/internal/admit"
 	"higgs/internal/ingest"
 	"higgs/internal/query"
+	"higgs/internal/rcache"
 	"higgs/internal/shard"
 	"higgs/internal/stream"
 )
@@ -76,10 +80,18 @@ type Edge struct {
 
 // state pairs the served summary with the ingest pipeline feeding it. The
 // two must swap together on snapshot upload — a pipeline drains into
-// exactly the summary it was built over.
+// exactly the summary it was built over. The read prober (and its cache,
+// when enabled) swaps with them: a cache is bound to exactly one summary's
+// shard versions, so replacing the summary replaces — and thereby busts —
+// the cache in the same atomic pointer swap (DESIGN.md §16).
 type state struct {
 	sum  *shard.Summary
 	pipe *ingest.Pipeline
+	// read is the prober every query endpoint runs: the summary itself,
+	// or a watermark-invalidated cache over it (SetReadCache).
+	read query.Prober
+	// cache is non-nil exactly when read is the cache, for /healthz stats.
+	cache *rcache.Cache
 }
 
 // Server wraps a sharded HIGGS summary with an HTTP API. The
@@ -90,6 +102,9 @@ type Server struct {
 	icfg        ingest.Config
 	closed      atomic.Bool
 	replica     bool
+	start       time.Time
+	cacheBytes  atomic.Int64
+	admission   atomic.Pointer[admit.Controller]
 	durability  atomic.Pointer[func() DurabilityStatus]
 	retention   atomic.Pointer[func() RetentionStatus]
 	replication atomic.Pointer[func() ReplicationStatus]
@@ -211,9 +226,86 @@ func NewWithIngest(sum *shard.Summary, icfg ingest.Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{icfg: icfg}
-	s.st.Store(&state{sum: sum, pipe: pipe})
+	s := &Server{icfg: icfg, start: time.Now()}
+	s.st.Store(s.newState(sum, pipe))
 	return s, nil
+}
+
+// newState assembles the swapped-together unit of serving state: summary,
+// pipeline, and — when a cache budget is set — a fresh cache over exactly
+// that summary. Building the cache here, at every swap site, is what makes
+// "bust the cache" and "replace the summary" the same atomic operation.
+func (s *Server) newState(sum *shard.Summary, pipe *ingest.Pipeline) *state {
+	st := &state{sum: sum, pipe: pipe, read: sum}
+	if n := s.cacheBytes.Load(); n > 0 {
+		c, err := rcache.New(sum, rcache.Config{MaxBytes: n})
+		if err != nil {
+			// The budget was validated by SetReadCache; a failure here is a
+			// bug, and serving uncached is strictly safe.
+			return st
+		}
+		st.cache = c
+		st.read = c
+	}
+	return st
+}
+
+// SetReadCache installs (or, with maxBytes 0, removes) a watermark-
+// invalidated result cache over the served summary. Every later summary
+// swap — snapshot upload, replica resync — rebuilds a fresh cache over the
+// new summary in the same atomic state swap. Budgets below rcache.MinBytes
+// are rejected.
+func (s *Server) SetReadCache(maxBytes int64) error {
+	if maxBytes != 0 {
+		if err := (rcache.Config{MaxBytes: maxBytes}).Validate(); err != nil {
+			return err
+		}
+	}
+	s.cacheBytes.Store(maxBytes)
+	for {
+		old := s.st.Load()
+		if s.st.CompareAndSwap(old, s.newState(old.sum, old.pipe)) {
+			return nil
+		}
+		// A snapshot upload or resync swapped concurrently; its state was
+		// built by newState and already reflects the new budget. Retry to
+		// make the call's effect unconditional anyway.
+	}
+}
+
+// SetAdmission installs an admission controller in front of every query
+// endpoint (nil removes it). Shed requests answer 429 with a Retry-After
+// pacing hint; write and operational endpoints are not admission-controlled
+// (ingest has its own backpressure).
+func (s *Server) SetAdmission(c *admit.Controller) {
+	s.admission.Store(c)
+}
+
+// admitQuery asks the admission controller (if any) to run a request
+// planning the given number of per-shard probes. It returns the release
+// callback and true, or answers 429 + Retry-After itself and returns
+// false. The client key is the peer host, so one tenant's token bucket
+// spans its connections but not its ports.
+func (s *Server) admitQuery(w http.ResponseWriter, r *http.Request, probes int) (func(), bool) {
+	ctrl := s.admission.Load()
+	if ctrl == nil {
+		return func() {}, true
+	}
+	client := r.RemoteAddr
+	if host, _, err := net.SplitHostPort(client); err == nil {
+		client = host
+	}
+	release, err := ctrl.Admit(client, probes)
+	if err != nil {
+		secs := int(ctrl.RetryAfter().Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return nil, false
+	}
+	return release, true
 }
 
 // NewReplica returns a read-only server over a replication follower's
@@ -250,7 +342,7 @@ func (s *Server) ReplaceSummary(sum *shard.Summary) error {
 	if err != nil {
 		return err
 	}
-	old := s.st.Swap(&state{sum: sum, pipe: pipe})
+	old := s.st.Swap(s.newState(sum, pipe))
 	old.pipe.Close()
 	old.sum.Close()
 	if s.closed.Load() {
@@ -549,9 +641,17 @@ func queryU64(r *http.Request, key string) (uint64, error) {
 // answerOne runs one query through the same planner /v2/query batches use
 // (a one-element batch) and writes the v1-shaped response: 400 on a query
 // validation error — an inverted time range, a too-short path — 200 with
-// {"weight": ...} otherwise.
-func (s *Server) answerOne(w http.ResponseWriter, q query.Query) {
-	res := s.summary().Do(q)
+// {"weight": ...} otherwise. The query runs through the state's read
+// prober (the cache, when enabled) and is admission-controlled by its
+// planned probe count, exactly like a one-element batch.
+func (s *Server) answerOne(w http.ResponseWriter, r *http.Request, q query.Query) {
+	st := s.st.Load()
+	release, ok := s.admitQuery(w, r, q.ProbeCount(st.sum.NumShards()))
+	if !ok {
+		return
+	}
+	defer release()
+	res := query.Do(st.read, q)
 	if res.Err != nil {
 		httpError(w, http.StatusBadRequest, "%v", res.Err)
 		return
@@ -569,7 +669,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.answerOne(w, query.NewEdge(sv, dv, ts, te))
+	s.answerOne(w, r, query.NewEdge(sv, dv, ts, te))
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
@@ -591,7 +691,7 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "dir must be \"out\" or \"in\"")
 		return
 	}
-	s.answerOne(w, q)
+	s.answerOne(w, r, q)
 }
 
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
@@ -614,7 +714,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		}
 		path[i] = v
 	}
-	s.answerOne(w, query.NewPath(path, ts, te))
+	s.answerOne(w, r, query.NewPath(path, ts, te))
 }
 
 // subgraphRequest is the POST body of /v1/subgraph.
@@ -636,7 +736,7 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
-	s.answerOne(w, query.NewSubgraph(req.Edges, req.Ts, req.Te))
+	s.answerOne(w, r, query.NewSubgraph(req.Edges, req.Ts, req.Te))
 }
 
 // maxBatchQueries bounds one /v2/query envelope; a larger batch is a
@@ -694,11 +794,13 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	out := make([]batchResult, len(raws))
 	batch := make([]query.Query, 0, len(raws))
 	idx := make([]int, 0, len(raws)) // out-slot of each decodable item
-	// One summary for both admission and execution: a concurrent snapshot
-	// upload must not let a batch budgeted against few shards execute
-	// against many (or be spuriously rejected in the shrink direction).
-	sum := s.summary()
-	shards := sum.NumShards()
+	// One state for budgeting, admission, and execution: a concurrent
+	// snapshot upload must not let a batch budgeted against few shards
+	// execute against many (or be spuriously rejected in the shrink
+	// direction), and the cache consulted must be the one bound to the
+	// summary that answers.
+	st := s.st.Load()
+	shards := st.sum.NumShards()
 	probes := 0
 	for i, raw := range raws {
 		dec := json.NewDecoder(bytes.NewReader(raw))
@@ -716,7 +818,12 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, q)
 		idx = append(idx, i)
 	}
-	for j, res := range sum.DoBatch(batch) {
+	release, admitted := s.admitQuery(w, r, probes)
+	if !admitted {
+		return
+	}
+	defer release()
+	for j, res := range query.DoBatch(st.read, batch) {
 		if res.Err != nil {
 			out[idx[j]].Error = res.Err.Error()
 			continue
@@ -787,6 +894,24 @@ func readMemory() MemoryStatus {
 	}
 }
 
+// ReadCacheStatus is the read-cache state /healthz reports (DESIGN.md
+// §16): whether a cache fronts the planner, and its hit/miss/eviction/
+// occupancy counters when one does.
+type ReadCacheStatus struct {
+	// Enabled reports whether queries run through a result cache.
+	Enabled bool `json:"enabled"`
+	rcache.Stats
+}
+
+// AdmissionStatus is the admission-control state /healthz reports
+// (DESIGN.md §16): whether a controller fronts the query endpoints, and
+// its per-class budget/queue/shed counters when one does.
+type AdmissionStatus struct {
+	// Enabled reports whether queries are admission-controlled.
+	Enabled bool `json:"enabled"`
+	admit.Stats
+}
+
 // handleHealthz is the load-balancer probe: 200 with the serving
 // configuration, computed without touching a shard lock or a query path,
 // so probes stay cheap and never queue behind traffic.
@@ -808,14 +933,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if fn := s.replication.Load(); fn != nil {
 		replication = (*fn)()
 	}
+	var readCache ReadCacheStatus
+	if st.cache != nil {
+		readCache = ReadCacheStatus{Enabled: true, Stats: st.cache.Stats()}
+	}
+	var admission AdmissionStatus
+	if ctrl := s.admission.Load(); ctrl != nil {
+		admission = AdmissionStatus{Enabled: true, Stats: ctrl.Stats()}
+	}
 	writeJSON(w, map[string]any{
-		"status":      "ok",
-		"shards":      st.sum.NumShards(),
-		"ingest":      st.pipe.Mode().String(),
-		"durability":  durability,
-		"retention":   retention,
-		"replication": replication,
-		"memory":      readMemory(),
+		"status":         "ok",
+		"shards":         st.sum.NumShards(),
+		"ingest":         st.pipe.Mode().String(),
+		"durability":     durability,
+		"retention":      retention,
+		"replication":    replication,
+		"memory":         readMemory(),
+		"read_cache":     readCache,
+		"admission":      admission,
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"version":        BuildVersion(),
 	})
 }
 
@@ -861,7 +998,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, "ingest pipeline: %v", err)
 			return
 		}
-		old := s.st.Swap(&state{sum: loaded, pipe: pipe})
+		old := s.st.Swap(s.newState(loaded, pipe))
 		// Drain the old pipeline into the old summary before closing both:
 		// in-flight /v1/ingest requests that were already accepted complete
 		// their contract against the summary they targeted, even though the

@@ -1,0 +1,39 @@
+package server
+
+import "runtime/debug"
+
+// BuildVersion reports the running binary's module version and VCS
+// revision — "v1.2.3 (abc123def456)" — as the Go toolchain stamped them
+// into the build (debug.ReadBuildInfo). A tree built without VCS metadata
+// reports just the module version; a module built from a working copy
+// reports "(devel)"; a locally modified checkout is marked "-dirty".
+// /healthz's "version" field and `higgsd -version` both use it, so the
+// probe and the CLI can never disagree about what is running.
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev, dirty string
+	for _, set := range bi.Settings {
+		switch set.Key {
+		case "vcs.revision":
+			rev = set.Value
+		case "vcs.modified":
+			if set.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return v
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return v + " (" + rev + dirty + ")"
+}

@@ -78,6 +78,16 @@ type slot struct {
 	// watermark splitting "already in the snapshot" from "replay me"
 	// (DESIGN.md §12).
 	seq uint64
+	// ver is the shard's mutation version: a counter bumped inside every
+	// write-lock section that may change query answers (insert, delete,
+	// expire-that-reclaimed, finalize, close) — including the non-durable
+	// seq-0 paths that leave the durability watermark alone. It is the
+	// read cache's invalidation token (DESIGN.md §16): because it only
+	// ever advances, and only under mu, two equal reads of ver bracket a
+	// window in which no mutation completed, so any probe result obtained
+	// inside that window is exactly the state at that version. Read with
+	// atomic.Load so cache hits need no lock at all.
+	ver atomic.Uint64
 }
 
 // Summary is a sharded HIGGS graph stream summary. It is safe for
@@ -156,6 +166,7 @@ func (s *Summary) Insert(e stream.Edge) {
 	sl := s.slots[s.ShardFor(e.S)]
 	sl.mu.Lock()
 	sl.sum.Insert(e)
+	sl.ver.Add(1)
 	sl.mu.Unlock()
 }
 
@@ -203,6 +214,7 @@ func (s *Summary) InsertShardAt(i int, edges []stream.Edge, seq uint64) {
 	if seq > sl.seq {
 		sl.seq = seq
 	}
+	sl.ver.Add(1)
 	sl.mu.Unlock()
 }
 
@@ -217,12 +229,30 @@ func (s *Summary) ShardSeq(i int) uint64 {
 	return sl.seq
 }
 
+// ShardVersion returns shard i's mutation version without taking any lock.
+// The version advances (inside the write-lock section, before the lock is
+// released) on every applied mutation that may change a query answer:
+// inserts — WAL-sequenced or not — deletes that found their entry, expires
+// that reclaimed at least one leaf, Finalize, and Close. Unlike ShardSeq it
+// therefore also moves for writes the durability watermark ignores, which
+// is what makes it an exact invalidation token for read caches: a probe
+// result obtained between two equal ShardVersion reads is exactly the
+// shard's state at that version, and the counter never repeats a value
+// (DESIGN.md §16). Stats does not advance it — on-demand sealing is
+// answer-neutral, so monitoring traffic must not invalidate caches.
+func (s *Summary) ShardVersion(i int) uint64 {
+	return s.slots[i].ver.Load()
+}
+
 // Delete removes one previously inserted item from the shard of its source
 // vertex, reporting whether a matching entry was found.
 func (s *Summary) Delete(e stream.Edge) bool {
 	sl := s.slots[s.ShardFor(e.S)]
 	sl.mu.Lock()
 	ok := sl.sum.Delete(e)
+	if ok {
+		sl.ver.Add(1)
+	}
 	sl.mu.Unlock()
 	return ok
 }
@@ -354,6 +384,9 @@ func (s *Summary) ExpireAt(cutoff int64, seq uint64) int64 {
 		if seq > sl.seq {
 			sl.seq = seq
 		}
+		if n > 0 {
+			sl.ver.Add(1)
+		}
 		sl.mu.Unlock()
 		dropped.Add(int64(n))
 	})
@@ -372,6 +405,9 @@ func (s *Summary) ExpireShardAt(i int, cutoff int64, seq uint64) int64 {
 	n := sl.sum.Expire(cutoff)
 	if seq > sl.seq {
 		sl.seq = seq
+	}
+	if n > 0 {
+		sl.ver.Add(1)
 	}
 	sl.mu.Unlock()
 	return int64(n)
@@ -393,6 +429,7 @@ func (s *Summary) Finalize() {
 	s.eachShard(func(sl *slot) {
 		sl.mu.Lock()
 		sl.sum.Finalize()
+		sl.ver.Add(1)
 		sl.mu.Unlock()
 	})
 }
@@ -407,6 +444,7 @@ func (s *Summary) Close() {
 	s.eachShard(func(sl *slot) {
 		sl.mu.Lock()
 		sl.sum.Close()
+		sl.ver.Add(1)
 		sl.mu.Unlock()
 	})
 }

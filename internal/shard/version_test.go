@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"testing"
+
+	"higgs/internal/stream"
+)
+
+// versions snapshots every shard's mutation version.
+func versions(s *Summary) []uint64 {
+	out := make([]uint64, s.NumShards())
+	for i := range out {
+		out[i] = s.ShardVersion(i)
+	}
+	return out
+}
+
+// TestShardVersionAdvancesOnEveryApply pins the invalidation-token
+// contract of DESIGN.md §16: every applied mutation — durable or not —
+// advances exactly the mutated shard's version; reads (queries, ShardSeq,
+// Items) advance nothing.
+func TestShardVersionAdvancesOnEveryApply(t *testing.T) {
+	s := newSharded(t, 4)
+	e := stream.Edge{S: 1, D: 2, W: 3, T: 10}
+	owner := s.ShardFor(e.S)
+
+	before := versions(s)
+	s.Insert(e)
+	after := versions(s)
+	for i := range after {
+		want := before[i]
+		if i == owner {
+			want++
+		}
+		if after[i] != want {
+			t.Fatalf("shard %d version after Insert: got %d, want %d", i, after[i], want)
+		}
+	}
+
+	// Non-durable (seq 0) batch: the durability watermark must stay put,
+	// the mutation version must still move — that asymmetry is why the
+	// cache cannot key on ShardSeq alone.
+	before = versions(s)
+	s.InsertShard(owner, []stream.Edge{{S: 1, D: 7, W: 1, T: 11}})
+	if got := s.ShardVersion(owner); got != before[owner]+1 {
+		t.Fatalf("version after seq-0 InsertShard: got %d, want %d", got, before[owner]+1)
+	}
+	if got := s.ShardSeq(owner); got != 0 {
+		t.Fatalf("seq-0 InsertShard advanced durability watermark to %d", got)
+	}
+
+	// WAL-sequenced batch advances both.
+	before = versions(s)
+	s.InsertShardAt(owner, []stream.Edge{{S: 1, D: 8, W: 1, T: 12}}, 99)
+	if got := s.ShardVersion(owner); got != before[owner]+1 {
+		t.Fatalf("version after InsertShardAt: got %d, want %d", got, before[owner]+1)
+	}
+	if got := s.ShardSeq(owner); got != 99 {
+		t.Fatalf("seq after InsertShardAt: got %d, want 99", got)
+	}
+
+	// Queries and watermark reads are version-neutral.
+	before = versions(s)
+	s.EdgeWeight(1, 2, 0, 100)
+	s.VertexIn(2, 0, 100)
+	s.Items()
+	for i := range s.slots {
+		s.ShardSeq(i)
+	}
+	if got := versions(s); !equalU64(got, before) {
+		t.Fatalf("reads moved versions: %v -> %v", before, got)
+	}
+
+	// Delete bumps only when it found its entry.
+	before = versions(s)
+	if s.Delete(stream.Edge{S: 1, D: 9999, W: 5, T: 10}) {
+		t.Fatal("Delete of absent edge reported found")
+	}
+	if got := versions(s); !equalU64(got, before) {
+		t.Fatalf("no-op Delete moved versions: %v -> %v", before, got)
+	}
+	if !s.Delete(e) {
+		t.Fatal("Delete of present edge reported not found")
+	}
+	if got := s.ShardVersion(owner); got != before[owner]+1 {
+		t.Fatalf("version after Delete: got %d, want %d", got, before[owner]+1)
+	}
+}
+
+// TestShardVersionExpire pins that expire advances a shard's version
+// exactly when it reclaimed leaves there: a vacuous expire (cutoff before
+// everything) must not invalidate caches.
+func TestShardVersionExpire(t *testing.T) {
+	s := newSharded(t, 2)
+	st := testStream(t, 50, 2_000)
+	s.InsertBatch(st)
+
+	before := versions(s)
+	if n := s.Expire(st[0].T - 1); n != 0 {
+		t.Fatalf("expire before the stream reclaimed %d leaves", n)
+	}
+	if got := versions(s); !equalU64(got, before) {
+		t.Fatalf("vacuous expire moved versions: %v -> %v", before, got)
+	}
+
+	cutoff := st[0].T + (st[len(st)-1].T-st[0].T)*2/3
+	if n := s.Expire(cutoff); n <= 0 {
+		t.Skipf("expire at %d reclaimed nothing; stream too small to exercise", cutoff)
+	}
+	moved := false
+	got := versions(s)
+	for i := range got {
+		if got[i] < before[i] {
+			t.Fatalf("shard %d version went backwards: %d -> %d", i, before[i], got[i])
+		}
+		if got[i] > before[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("expire reclaimed leaves but no version moved: %v -> %v", before, got)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package higgs_test
+
+import (
+	"errors"
+	"testing"
+
+	"higgs"
+)
+
+// TestReadCacheFacade: the cache answers exactly like the summary, repeat
+// queries hit, and a write invalidates the affected entries automatically.
+func TestReadCacheFacade(t *testing.T) {
+	s := newSeededSharded(t, 4)
+	c, err := higgs.NewReadCache(s, higgs.ReadCacheConfig{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []higgs.Query{
+		higgs.EdgeQuery(1, 2, 0, 500),
+		higgs.VertexOutQuery(1, 0, 500),
+		higgs.PathQuery([]uint64{1, 2, 3}, 0, 500),
+	}
+	want := s.DoBatch(batch)
+	for pass := 0; pass < 2; pass++ {
+		for i, r := range c.DoBatch(batch) {
+			if r.Err != nil || r.Weight != want[i].Weight {
+				t.Fatalf("pass %d item %d: cached %+v, uncached %+v", pass, i, r, want[i])
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("warm cache stats = %+v, want hits and entries", st)
+	}
+
+	// A write moves the shard's version; the cache must serve the new
+	// answer, not the memoized one.
+	s.Insert(higgs.Edge{S: 1, D: 2, W: 10, T: 450})
+	if r := c.Do(higgs.EdgeQuery(1, 2, 0, 500)); r.Err != nil || r.Weight != s.EdgeWeight(1, 2, 0, 500) {
+		t.Fatalf("post-insert cached answer %+v, summary says %d", r, s.EdgeWeight(1, 2, 0, 500))
+	}
+
+	if _, err := higgs.NewReadCache(s, higgs.ReadCacheConfig{MaxBytes: 1}); err == nil {
+		t.Fatal("NewReadCache accepted a 1-byte budget")
+	}
+}
+
+// TestAdmissionFacade: classification, rate limiting, and the exported
+// rejection errors.
+func TestAdmissionFacade(t *testing.T) {
+	a, err := higgs.NewAdmission(higgs.AdmissionConfig{HeavyProbes: 8, Rate: 0.000001, Burst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Heavy(8) || !a.Heavy(9) {
+		t.Fatal("heavy classification does not cut at HeavyProbes")
+	}
+	for i := 0; i < 2; i++ {
+		release, err := a.Admit("client-a", 1)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		release()
+	}
+	if _, err := a.Admit("client-a", 1); !errors.Is(err, higgs.ErrRateLimited) {
+		t.Fatalf("drained bucket: err = %v, want ErrRateLimited", err)
+	}
+	if _, err := a.Admit("client-b", 1); err != nil {
+		t.Fatalf("fresh client throttled: %v", err)
+	}
+	if a.RetryAfter() <= 0 {
+		t.Fatal("RetryAfter not positive")
+	}
+	if st := a.Stats(); st.RateLimited == 0 {
+		t.Fatalf("stats = %+v, want rate_limited > 0", st)
+	}
+}
