@@ -67,6 +67,21 @@
 //
 //	higgsd -cache-bytes 67108864 -admit-heavy 4 -admit-rate 200
 //
+// Stream analytics (DESIGN.md §17): -analytics maintains per-shard
+// count-min sketches and bounded candidate sets inside the committer apply
+// path — every write entry point (sync insert, group commit, WAL replay,
+// replication apply, delete) updates them under the same shard write lock
+// that applies the edges, so the sketches can never drift from the served
+// summary. They answer four additional /v2/query kinds: "heavy_hitters"
+// and "burst" in O(k) without touching a shard lock, and "delta_vertex" /
+// "delta_edge" (two-window change ranking) through the normal batch
+// planner, read cache, and admission control. -analytics-topk sizes the
+// tracked candidate sets, -analytics-epoch and -analytics-burst tune burst
+// detection. /healthz reports the engine's counters in its "analytics"
+// field. Works on primaries and followers alike.
+//
+//	higgsd -analytics -analytics-topk 256 -analytics-epoch 30s -analytics-burst 8
+//
 // Replication (DESIGN.md §15): -replication-addr serves the WAL-shipping
 // feed (/repl/info, /repl/snapshot, /repl/wal) on a separate, private
 // listener. A follower started with -replicate-from boots from the
@@ -102,6 +117,7 @@ import (
 	"time"
 
 	"higgs/internal/admit"
+	"higgs/internal/analytics"
 	"higgs/internal/ingest"
 	"higgs/internal/repl"
 	"higgs/internal/server"
@@ -131,6 +147,11 @@ func main() {
 		replAddr   = flag.String("replication-addr", "", "serve the WAL-shipping replication feed (/repl/*) on this address; requires -wal-dir (empty = disabled); keep it private — it ships the raw log")
 		replFrom   = flag.String("replicate-from", "", "run as a read-only follower of this primary replication URL (e.g. http://primary:9090): reads served, writes answer 403")
 		replicaDir = flag.String("replica-dir", "", "follower state directory holding the local snapshot cache, so restarts resume from disk; requires -replicate-from")
+
+		anaOn    = flag.Bool("analytics", false, "enable the stream-analytics subsystem: heavy-hitter/burst sketches maintained in the committer apply path, served by the delta_vertex/delta_edge/heavy_hitters/burst kinds of /v2/query (DESIGN.md §17)")
+		anaTopK  = flag.Int("analytics-topk", 0, "tracked heavy-hitter candidates per shard and direction (0 = 128); requires -analytics")
+		anaEpoch = flag.Duration("analytics-epoch", 0, "burst-detection epoch length, whole seconds (0 = 1m); requires -analytics")
+		anaBurst = flag.Float64("analytics-burst", 0, "burst threshold: flag a vertex when its current-epoch weight reaches this multiple of its recent-epoch average (0 = 4.0); requires -analytics")
 
 		cacheBytes = flag.Int64("cache-bytes", 0, "watermark-invalidated read cache byte budget across all shards (0 = disabled, minimum 64KiB)")
 		admitHeavy = flag.Int("admit-heavy", 0, "concurrent heavy-query budget; enables admission control (0 = class budgets at defaults unless -admit-rate set)")
@@ -188,10 +209,27 @@ func main() {
 		log.Fatalf("higgsd: -admit-heavy %d, need ≥ 0", *admitHeavy)
 	case *admitRate < 0:
 		log.Fatalf("higgsd: -admit-rate %v, need ≥ 0", *admitRate)
+	case !*anaOn && (*anaTopK != 0 || *anaEpoch != 0 || *anaBurst != 0):
+		log.Fatal("higgsd: -analytics-topk/-analytics-epoch/-analytics-burst require -analytics")
+	case *anaTopK < 0:
+		log.Fatalf("higgsd: -analytics-topk %d, need ≥ 0", *anaTopK)
+	case *anaEpoch != 0 && *anaEpoch < time.Second:
+		log.Fatalf("higgsd: -analytics-epoch %v, need whole seconds ≥ 1s (or 0 for the default)", *anaEpoch)
+	case *anaBurst != 0 && *anaBurst < 1:
+		log.Fatalf("higgsd: -analytics-burst %v, need ≥ 1 (or 0 for the default)", *anaBurst)
+	}
+
+	var anaCfg *analytics.Config
+	if *anaOn {
+		anaCfg = &analytics.Config{
+			TrackK:       *anaTopK,
+			EpochSeconds: int64(*anaEpoch / time.Second),
+			BurstFactor:  *anaBurst,
+		}
 	}
 
 	if *replFrom != "" {
-		runFollower(*addr, *replFrom, *replicaDir, *snapIvl, *save, *pprof, *cacheBytes, *admitHeavy, *admitRate)
+		runFollower(*addr, *replFrom, *replicaDir, *snapIvl, *save, *pprof, *cacheBytes, *admitHeavy, *admitRate, anaCfg)
 		return
 	}
 	icfg := ingest.DefaultConfig()
@@ -202,6 +240,7 @@ func main() {
 	var (
 		sum   *shard.Summary
 		wlog  *wal.Log
+		eng   *analytics.Engine
 		snapP string
 	)
 	if *walDir != "" {
@@ -210,6 +249,18 @@ func main() {
 		sum, err = loadOrNewSummary(snapP, *shards)
 		if err != nil {
 			log.Fatalf("higgsd: %v", err)
+		}
+		if anaCfg != nil {
+			// The engine observes the summary from before the WAL replay, so
+			// the sketches absorb recovered edges exactly like live ones
+			// (DESIGN.md §17). The server adopts it after construction.
+			acfg := *anaCfg
+			acfg.Shards = sum.NumShards()
+			acfg.Seed = sum.Config().Core.Seed
+			if eng, err = analytics.New(acfg); err != nil {
+				log.Fatalf("higgsd: analytics: %v", err)
+			}
+			sum.SetApplyObserver(eng)
 		}
 		// The WAL group-syncs on its own cadence (-wal-sync-interval): one
 		// fsync covers everything accepted during the accumulation window,
@@ -237,6 +288,14 @@ func main() {
 	}
 	if err := setupReadPath(srv, *cacheBytes, *admitHeavy, *admitRate); err != nil {
 		log.Fatalf("higgsd: %v", err)
+	}
+	if anaCfg != nil {
+		if eng != nil {
+			srv.SetAnalyticsEngine(eng) // the WAL-recovery engine already observes sum
+		} else if err := srv.SetAnalytics(*anaCfg); err != nil {
+			log.Fatalf("higgsd: analytics: %v", err)
+		}
+		logAnalytics(anaCfg)
 	}
 	var snapper *ingest.Snapshotter
 	if wlog != nil {
@@ -398,7 +457,23 @@ func setupReadPath(srv *server.Server, cacheBytes int64, admitHeavy int, admitRa
 	return nil
 }
 
-func runFollower(addr, source, dir string, snapIvl time.Duration, save, pprofAddr string, cacheBytes int64, admitHeavy int, admitRate float64) {
+// logAnalytics reports the effective analytics knobs, resolving the zero
+// values to the engine's documented defaults.
+func logAnalytics(cfg *analytics.Config) {
+	topk, epoch, burst := cfg.TrackK, cfg.EpochSeconds, cfg.BurstFactor
+	if topk == 0 {
+		topk = analytics.DefaultTrackK
+	}
+	if epoch == 0 {
+		epoch = analytics.DefaultEpochSeconds
+	}
+	if burst == 0 {
+		burst = analytics.DefaultBurstFactor
+	}
+	log.Printf("higgsd: analytics enabled (topk=%d epoch=%ds burst=%.1f)", topk, epoch, burst)
+}
+
+func runFollower(addr, source, dir string, snapIvl time.Duration, save, pprofAddr string, cacheBytes int64, admitHeavy int, admitRate float64, anaCfg *analytics.Config) {
 	// The server is built after the follower boots (it serves the booted
 	// summary), but a resync can fire as soon as the tail loop starts; the
 	// swap callback waits for the pointer. ReplaceSummary no-ops when the
@@ -432,6 +507,17 @@ func runFollower(addr, source, dir string, snapIvl time.Duration, save, pprofAdd
 	}
 	if err := setupReadPath(srv, cacheBytes, admitHeavy, admitRate); err != nil {
 		log.Fatalf("higgsd: %v", err)
+	}
+	if anaCfg != nil {
+		// A follower's summary applies tailed records through the same shard
+		// entry points as ingest, so the sketches absorb everything
+		// replicated after boot (the boot snapshot itself is served but not
+		// re-counted — DESIGN.md §17); a resync swap rebuilds the engine
+		// with the new summary automatically.
+		if err := srv.SetAnalytics(*anaCfg); err != nil {
+			log.Fatalf("higgsd: analytics: %v", err)
+		}
+		logAnalytics(anaCfg)
 	}
 	srvPtr.Store(srv)
 	srv.SetReplication(func() server.ReplicationStatus {

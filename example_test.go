@@ -62,10 +62,10 @@ func ExampleSharded_DoBatch() {
 	s.Insert(higgs.Edge{S: 2, D: 3, W: 5, T: 200})
 
 	results := s.DoBatch([]higgs.Query{
-		higgs.EdgeQuery(1, 2, 0, 250),
-		higgs.VertexInQuery(3, 0, 250),
-		higgs.PathQuery([]uint64{1, 2, 3}, 0, 250),
-		higgs.EdgeQuery(1, 2, 250, 0), // inverted window: per-query error
+		higgs.NewEdgeQuery(1, 2, higgs.Between(0, 250)),
+		higgs.NewVertexQuery(3, higgs.Between(0, 250), higgs.WithDirection(higgs.DirIn)),
+		higgs.NewPathQuery([]uint64{1, 2, 3}, higgs.Between(0, 250)),
+		higgs.NewEdgeQuery(1, 2, higgs.Between(250, 0)), // inverted window: per-query error
 	})
 	for _, r := range results {
 		if r.Err != nil {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"higgs/internal/admit"
+	"higgs/internal/analytics"
 	"higgs/internal/core"
 	"higgs/internal/ingest"
 	"higgs/internal/query"
@@ -311,46 +312,221 @@ var (
 func NewAdmission(cfg AdmissionConfig) (*Admission, error) { return admit.New(cfg) }
 
 // Query describes one temporal range query of any kind — edge, vertex
-// (out / in), path, or subgraph — over a closed [Ts, Te] window; build
-// them with the EdgeQuery, VertexOutQuery, VertexInQuery, PathQuery, and
-// SubgraphQuery constructors. Execute via Sharded.Do or, for whole
-// batches answered under at most one read-lock acquisition per shard,
-// Sharded.DoBatch (DESIGN.md §11). Its JSON form is the wire format of
-// the server's POST /v2/query endpoint. See package query for details.
+// (out / in), path, subgraph, the delta kinds, heavy hitters, or bursts —
+// over closed [Ts, Te] windows; build them with the NewEdgeQuery,
+// NewVertexQuery, NewPathQuery, NewSubgraphQuery, NewDeltaVertexQuery,
+// NewDeltaEdgeQuery, NewHeavyHittersQuery, and NewBurstQuery constructors.
+// Execute via Sharded.Do or, for whole batches answered under at most one
+// read-lock acquisition per shard, Sharded.DoBatch (DESIGN.md §11); the
+// sketch-served kinds additionally need an Analytics engine (DoBatchWith).
+// Its JSON form is the wire format of the server's POST /v2/query
+// endpoint. See package query for details.
 type Query = query.Query
 
 // Result is the answer to one Query: the estimated aggregated weight
-// (never an under-estimate), or the query's validation error.
+// (never an under-estimate) for the scalar kinds, a ranked Top list for
+// the analytics kinds, or the query's validation error.
 type Result = query.Result
+
+// QueryEntry is one ranked answer row of an analytics query: the vertex
+// (or edge) with its window estimates, delta, and burst score/flag.
+type QueryEntry = query.Entry
 
 // QueryKind selects the temporal query kind of a Query. It marshals to
 // and from its wire name ("edge", "vertex_out", "vertex_in", "path",
-// "subgraph").
+// "subgraph", "delta_vertex", "delta_edge", "heavy_hitters", "burst").
 type QueryKind = query.Kind
 
 // The temporal query kinds.
 const (
-	QueryEdge      = query.KindEdge
-	QueryVertexOut = query.KindVertexOut
-	QueryVertexIn  = query.KindVertexIn
-	QueryPath      = query.KindPath
-	QuerySubgraph  = query.KindSubgraph
+	QueryEdge         = query.KindEdge
+	QueryVertexOut    = query.KindVertexOut
+	QueryVertexIn     = query.KindVertexIn
+	QueryPath         = query.KindPath
+	QuerySubgraph     = query.KindSubgraph
+	QueryDeltaVertex  = query.KindDeltaVertex
+	QueryDeltaEdge    = query.KindDeltaEdge
+	QueryHeavyHitters = query.KindHeavyHitters
+	QueryBurst        = query.KindBurst
+)
+
+// Degree directions for vertex, delta-vertex, and heavy-hitter queries
+// (WithDirection).
+const (
+	DirOut = query.DirOut
+	DirIn  = query.DirIn
 )
 
 // ParseQueryKind maps a wire name ("edge", "vertex_out", ...) to its kind.
 func ParseQueryKind(s string) (QueryKind, error) { return query.ParseKind(s) }
 
+// Window is a closed temporal query window [Ts, Te] (seconds, inclusive on
+// both ends). The zero Window is deliberately invalid — a query whose
+// window was never set is rejected with a distinct error rather than
+// silently answering the weight at instant 0; use Between, or set Ts/Te
+// explicitly (a single instant t is Between(t, t)).
+type Window struct {
+	Ts int64
+	Te int64
+}
+
+// Between returns the window [ts, te].
+func Between(ts, te int64) Window { return Window{Ts: ts, Te: te} }
+
+// QueryOption customizes a query built by the New*Query constructors:
+// WithTopK, WithDirection, WithCandidates.
+type QueryOption func(*Query)
+
+// WithTopK caps the ranked output of an analytics query at k rows
+// (0 selects the default, currently 10; the maximum is 256).
+func WithTopK(k int) QueryOption { return func(q *Query) { q.K = k } }
+
+// WithDirection selects the degree direction — DirOut (the default) or
+// DirIn — of a vertex, delta-vertex, or heavy-hitter query.
+func WithDirection(dir string) QueryOption { return func(q *Query) { q.Dir = dir } }
+
+// WithCandidates sets the candidate vertex set of a delta-vertex query
+// built without one. Against higgsd the set may be omitted entirely: the
+// server fills it from the analytics engine's tracked heavy hitters.
+func WithCandidates(vs []uint64) QueryOption { return func(q *Query) { q.Candidates = vs } }
+
+func applyOptions(q Query, opts []QueryOption) Query {
+	for _, o := range opts {
+		o(&q)
+	}
+	return q
+}
+
+// NewEdgeQuery returns an edge-weight query for s→d over w.
+func NewEdgeQuery(s, d uint64, w Window, opts ...QueryOption) Query {
+	return applyOptions(query.NewEdge(s, d, w.Ts, w.Te), opts)
+}
+
+// NewVertexQuery returns a vertex-weight query for v over w: outgoing
+// weight by default, incoming with WithDirection(DirIn).
+func NewVertexQuery(v uint64, w Window, opts ...QueryOption) Query {
+	q := applyOptions(query.NewVertexOut(v, w.Ts, w.Te), opts)
+	// The scalar vertex kinds carry their direction in the kind itself;
+	// fold the option back in and clear the analytics-only field.
+	switch q.Dir {
+	case DirIn:
+		q.Kind = query.KindVertexIn
+		q.Dir = ""
+	case DirOut:
+		q.Dir = ""
+	}
+	return q
+}
+
+// NewPathQuery returns a path-weight query along path over w.
+func NewPathQuery(path []uint64, w Window, opts ...QueryOption) Query {
+	return applyOptions(query.NewPath(path, w.Ts, w.Te), opts)
+}
+
+// NewSubgraphQuery returns a subgraph-weight query over the edge set in w.
+func NewSubgraphQuery(edges [][2]uint64, w Window, opts ...QueryOption) Query {
+	return applyOptions(query.NewSubgraph(edges, w.Ts, w.Te), opts)
+}
+
+// NewDeltaVertexQuery returns a vertex delta query: each candidate's
+// degree weight is estimated over both windows and candidates are ranked
+// by |weight in compare − weight in base|. Options: WithCandidates (or
+// pass the set here), WithDirection, WithTopK.
+func NewDeltaVertexQuery(candidates []uint64, base, compare Window, opts ...QueryOption) Query {
+	return applyOptions(query.NewDeltaVertex(candidates, base.Ts, base.Te, compare.Ts, compare.Te), opts)
+}
+
+// NewDeltaEdgeQuery returns an edge delta query: each candidate edge's
+// weight is estimated over both windows and edges are ranked by
+// |compare − base|.
+func NewDeltaEdgeQuery(edges [][2]uint64, base, compare Window, opts ...QueryOption) Query {
+	return applyOptions(query.NewDeltaEdge(edges, base.Ts, base.Te, compare.Ts, compare.Te), opts)
+}
+
+// NewHeavyHittersQuery returns a heavy-hitter query: the top-k vertices by
+// total admitted out-weight (or in-weight with WithDirection(DirIn)),
+// served from an Analytics engine's sketches in O(k) without touching a
+// shard.
+func NewHeavyHittersQuery(opts ...QueryOption) Query {
+	return applyOptions(query.NewHeavyHitters("", 0), opts)
+}
+
+// NewBurstQuery returns a burst query: the top-k vertices by rate-of-change
+// score over the Analytics engine's recent epochs, each flagged when the
+// score clears the burst threshold.
+func NewBurstQuery(opts ...QueryOption) Query {
+	return applyOptions(query.NewBurst(0), opts)
+}
+
 // EdgeQuery returns an edge-weight query for s→d over [ts, te].
-func EdgeQuery(s, d uint64, ts, te int64) Query { return query.NewEdge(s, d, ts, te) }
+//
+// Deprecated: use NewEdgeQuery with a Window.
+func EdgeQuery(s, d uint64, ts, te int64) Query { return NewEdgeQuery(s, d, Between(ts, te)) }
 
 // VertexOutQuery returns an outgoing vertex-weight query for v over [ts, te].
-func VertexOutQuery(v uint64, ts, te int64) Query { return query.NewVertexOut(v, ts, te) }
+//
+// Deprecated: use NewVertexQuery with a Window.
+func VertexOutQuery(v uint64, ts, te int64) Query { return NewVertexQuery(v, Between(ts, te)) }
 
 // VertexInQuery returns an incoming vertex-weight query for v over [ts, te].
-func VertexInQuery(v uint64, ts, te int64) Query { return query.NewVertexIn(v, ts, te) }
+//
+// Deprecated: use NewVertexQuery with a Window and WithDirection(DirIn).
+func VertexInQuery(v uint64, ts, te int64) Query {
+	return NewVertexQuery(v, Between(ts, te), WithDirection(DirIn))
+}
 
 // PathQuery returns a path-weight query along path over [ts, te].
-func PathQuery(path []uint64, ts, te int64) Query { return query.NewPath(path, ts, te) }
+//
+// Deprecated: use NewPathQuery with a Window.
+func PathQuery(path []uint64, ts, te int64) Query { return NewPathQuery(path, Between(ts, te)) }
 
 // SubgraphQuery returns a subgraph-weight query over the edge set in [ts, te].
-func SubgraphQuery(edges [][2]uint64, ts, te int64) Query { return query.NewSubgraph(edges, ts, te) }
+//
+// Deprecated: use NewSubgraphQuery with a Window.
+func SubgraphQuery(edges [][2]uint64, ts, te int64) Query {
+	return NewSubgraphQuery(edges, Between(ts, te))
+}
+
+// Analytics is the stream-analytics engine (DESIGN.md §17): per-shard
+// count-min sketches plus bounded candidate sets, maintained inside the
+// same write-lock sections that apply edges to the summary, answering
+// heavy-hitter and burst queries in O(k) without touching a shard lock.
+// Attach one to a Sharded summary with SetApplyObserver; higgsd wires this
+// up under -analytics.
+type Analytics = analytics.Engine
+
+// AnalyticsConfig parameterizes an Analytics engine: sketch geometry,
+// tracked-candidate budget, and the burst epoch ring. The zero value of
+// every knob selects a documented default; Shards and Seed must match the
+// summary the engine observes.
+type AnalyticsConfig = analytics.Config
+
+// AnalyticsStats is a point-in-time snapshot of an Analytics engine's
+// counters, as reported under /healthz's "analytics" field.
+type AnalyticsStats = analytics.Stats
+
+// NewAnalytics validates the configuration and returns an engine. Register
+// it on the summary it should observe:
+//
+//	eng, _ := higgs.NewAnalytics(cfg)
+//	sum.SetApplyObserver(eng)
+//
+// and answer sketch-served queries via DoBatchWith (or the engine's
+// HeavyHitters / Bursts methods directly).
+func NewAnalytics(cfg AnalyticsConfig) (*Analytics, error) { return analytics.New(cfg) }
+
+// QueryProber is the planner seam every query executes through: a Sharded
+// summary, or a ReadCache over one.
+type QueryProber = query.Prober
+
+// DoBatchWith answers the batch over the prober — at most one read-lock
+// acquisition per shard, exactly like Sharded.DoBatch — with the analytics
+// engine serving the sketch kinds (heavy_hitters, burst). With a nil
+// engine those kinds fail per item with a stable "analytics_disabled"
+// code; the scalar and delta kinds are unaffected.
+func DoBatchWith(p QueryProber, a *Analytics, qs []Query) []Result {
+	if a == nil {
+		return query.DoBatchWith(p, nil, qs)
+	}
+	return query.DoBatchWith(p, a, qs)
+}

@@ -1,0 +1,509 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"time"
+
+	"higgs/internal/analytics"
+	"higgs/internal/exact"
+	"higgs/internal/ingest"
+	"higgs/internal/metrics"
+	"higgs/internal/query"
+	"higgs/internal/rcache"
+	"higgs/internal/shard"
+	"higgs/internal/stream"
+)
+
+// Planted-vertex id bases, far above any preset's natural id range so the
+// planted signals never collide with dataset vertices.
+const (
+	anaOutHeavyBase uint64 = 1 << 40 // planted out-direction heavy hitters
+	anaInHeavyBase  uint64 = 1 << 41 // planted in-direction heavy hitters
+	anaBurstVertex  uint64 = 1 << 42 // planted burst: all weight in the final epoch
+	anaOutSinkBase  uint64 = 1 << 43 // throwaway destinations of out-heavy edges
+	anaInSourceBase uint64 = 1 << 44 // throwaway sources of in-heavy edges
+	anaRiser        uint64 = 1 << 45 // delta candidates: rises, falls, holds
+	anaFaller       uint64 = 1<<45 + 1
+	anaNeutral      uint64 = 1<<45 + 2
+	anaDeltaSink    uint64 = 1 << 46 // destinations of the delta candidates' edges
+)
+
+// anaHeavies is the planted heavy-hitter count per direction; the gate
+// compares exactly this top-k against exact ground truth.
+const anaHeavies = 4
+
+// anaSpread is how many edges each planted heavy is split across, spaced
+// evenly over the span so heavies are steady (active in every epoch) and
+// must NOT raise burst flags.
+const anaSpread = 8
+
+// anaBatch is the submit batch size through the async ingest pipeline.
+const anaBatch = 256
+
+// anaCacheBudget comfortably fits the delta probe working set.
+const anaCacheBudget int64 = 4 << 20
+
+// Analytics is the stream-analytics gate (internal/analytics, DESIGN.md
+// §17), run in CI at 1/2/4/8 shards. The dataset is spiked with planted
+// signals — dominant out/in heavy hitters spread across the span, a vertex
+// whose entire weight lands in the final burst epoch, and delta candidates
+// that rise, fall, and hold across two windows — then ingested through the
+// async group-commit pipeline with a retention expire interleaved between
+// slabs, so the sketches are maintained by the real committer apply path
+// while leaves are reclaimed underneath them. Five contracts hard-fail the
+// run rather than warn:
+//
+//   - heavy hitters: the engine's top-k by out-weight and by in-weight
+//     (the cross-shard sketch merge) must equal, in order, the top-k
+//     computed from an exact.Store fed the same edges.
+//   - one-sidedness: no heavy-hitter or delta estimate may undercount its
+//     exact ground truth — the CMS and summary estimates are one-sided,
+//     and expire/interleaving must not break that.
+//   - burst detection: the planted final-epoch vertex must come back
+//     flagged (and its exact per-epoch weights must genuinely clear the
+//     threshold, so the check cannot pass vacuously), while the planted
+//     steady heavies must not be flagged.
+//   - delta ranking: the delta_vertex and delta_edge answers must rank the
+//     candidates exactly as the exact two-window differences do, with
+//     matching signs, and their Prev/Cur/Delta must equal direct summary
+//     probes of the same windows (the engine adds no estimator of its own).
+//   - cache transparency: the same batch through a watermark-fenced read
+//     cache — cold and warm — must be identical to the uncached answers.
+//
+// The sketch-maintenance invariant is asserted globally: after the final
+// flush the engine must have absorbed exactly every ingested edge and unit
+// of weight through the apply path, and have observed the expire. All
+// gated metrics are deterministic detection flags; ingest throughput is
+// recorded in the artifact but not gated.
+func Analytics(o Options) error {
+	o.fill()
+	fmt.Fprintln(o.Out, "== Extra: stream analytics — heavy hitters, bursts, deltas vs exact (internal/analytics) ==")
+	t := metrics.NewTable("dataset", "shards", "ingest", "heavy hitters", "burst", "delta", "cache", "verify")
+	dss, err := o.datasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range dss {
+		for _, n := range shardCounts {
+			r, err := analyticsRun(ds, n, o.Seed)
+			if err != nil {
+				return err
+			}
+			o.record(fmt.Sprintf("%s_s%d_ingest_eps", ds.Name, n), r.ingestEPS)
+			o.record(fmt.Sprintf("%s_s%d_hh_out_match", ds.Name, n), 1)
+			o.record(fmt.Sprintf("%s_s%d_hh_in_match", ds.Name, n), 1)
+			o.record(fmt.Sprintf("%s_s%d_burst_flagged", ds.Name, n), 1)
+			o.record(fmt.Sprintf("%s_s%d_delta_rank_match", ds.Name, n), 1)
+			o.record(fmt.Sprintf("%s_s%d_cached_match", ds.Name, n), 1)
+			o.record(fmt.Sprintf("%s_s%d_undercounts", ds.Name, n), float64(r.undercounts))
+			t.AddRow(ds.Name, fmt.Sprint(n), metrics.FormatEPS(r.ingestEPS),
+				fmt.Sprintf("top-%d ≡ exact", anaHeavies), "planted flagged",
+				"rank ≡ exact", "≡ uncached",
+				fmt.Sprintf("%d undercounts", r.undercounts))
+		}
+	}
+	return t.Render(o.Out)
+}
+
+type analyticsResult struct {
+	ingestEPS   float64
+	undercounts int
+}
+
+// anaPlan lays the run's time geometry and planted edges over a dataset.
+type anaPlan struct {
+	first, last int64
+	epochLen    int64 // burst epoch length; the span covers ~6 epochs
+	expireCut   int64 // retention cutoff: the span's first eighth
+	// Delta windows, both strictly after the expire cutoff so expired
+	// leaves can never make the summary's window estimates undershoot the
+	// exact store (which keeps everything).
+	baseLo, baseHi, cmpLo, cmpHi int64
+	planted                      stream.Stream
+	datasetW                     int64 // total dataset weight (planted weights scale off it)
+}
+
+// anaPlanFor derives the plan: epoch geometry from the dataset's span, and
+// planted weights from its total weight so every planted signal dominates
+// the natural stream at any scale.
+func anaPlanFor(ds *Dataset) (anaPlan, error) {
+	var pl anaPlan
+	span := ds.Stats.Span()
+	if span < 64 {
+		return pl, fmt.Errorf("bench: analytics: dataset %s spans %d time units; too short to place epochs and windows", ds.Name, span)
+	}
+	pl.first, pl.last = ds.Stats.FirstT, ds.Stats.LastT
+	pl.epochLen = span/6 + 1
+	pl.expireCut = pl.first + span/8
+	pl.baseLo = pl.first + span/4
+	pl.baseHi = pl.first + 5*span/8
+	pl.cmpLo, pl.cmpHi = pl.baseHi+1, pl.last
+	for _, e := range ds.Stream {
+		pl.datasetW += e.W
+	}
+
+	// Heavy hitters: per direction, anaHeavies vertices whose totals all
+	// exceed the whole dataset's weight, spaced by a step far above any
+	// possible sketch collision noise so even the engine's ORDER must match
+	// exact. Each is split into anaSpread evenly-spaced edges (steady, not
+	// bursty); out-heavy destinations and in-heavy sources are distinct
+	// throwaways so each heavy moves exactly one direction's ground truth,
+	// and the varied in-heavy sources spread across shards to exercise the
+	// cross-shard in-sketch merge.
+	floor := pl.datasetW + 100_000
+	step := floor/16 + 1
+	spread := func(target int64, k int) (w, t int64) {
+		w = target / anaSpread
+		if k == 0 {
+			w += target % anaSpread
+		}
+		return w, pl.first + int64(k)*span/anaSpread
+	}
+	for i := 0; i < anaHeavies; i++ {
+		target := floor + int64(anaHeavies-i)*step
+		for k := 0; k < anaSpread; k++ {
+			w, t := spread(target, k)
+			pl.planted = append(pl.planted,
+				stream.Edge{S: anaOutHeavyBase + uint64(i), D: anaOutSinkBase + uint64(i*anaSpread+k), W: w, T: t},
+				stream.Edge{S: anaInSourceBase + uint64(i*anaSpread+k), D: anaInHeavyBase + uint64(i), W: w, T: t})
+		}
+	}
+
+	// Burst: the planted vertex's entire weight lands at the last instant —
+	// current-epoch weight ≈ datasetW over a zero baseline, a score no
+	// natural vertex can reach (a score is bounded by the vertex's own
+	// epoch weight, which is bounded by the dataset's total).
+	burstTotal := pl.datasetW + 1000
+	for k := 0; k < anaSpread; k++ {
+		w := burstTotal / anaSpread
+		if k == 0 {
+			w += burstTotal % anaSpread
+		}
+		pl.planted = append(pl.planted, stream.Edge{S: anaBurstVertex, D: anaBurstVertex + 1, W: w, T: pl.last})
+	}
+
+	// Delta candidates: a riser (light base window, heavy compare window),
+	// a faller (the reverse, smaller magnitude), and a neutral holder.
+	// Margins are thousands of units apart so the summary's one-sided
+	// estimation noise cannot reorder them.
+	cmpSpan := pl.cmpHi - pl.cmpLo
+	pl.planted = append(pl.planted,
+		stream.Edge{S: anaRiser, D: anaDeltaSink, W: 10, T: pl.baseLo + 1})
+	for j := int64(0); j < 5; j++ {
+		pl.planted = append(pl.planted,
+			stream.Edge{S: anaRiser, D: anaDeltaSink, W: 10_000, T: pl.cmpLo + j*cmpSpan/5})
+	}
+	pl.planted = append(pl.planted,
+		stream.Edge{S: anaFaller, D: anaDeltaSink + 1, W: 10_000, T: pl.baseLo + 2},
+		stream.Edge{S: anaFaller, D: anaDeltaSink + 1, W: 10_000, T: pl.baseHi - 1},
+		stream.Edge{S: anaFaller, D: anaDeltaSink + 1, W: 10, T: pl.cmpLo + 1},
+		stream.Edge{S: anaNeutral, D: anaDeltaSink + 2, W: 100, T: pl.baseLo + 3},
+		stream.Edge{S: anaNeutral, D: anaDeltaSink + 2, W: 100, T: pl.cmpLo + 2})
+	return pl, nil
+}
+
+// anaExactTop ranks candidate vertices by exact weight (descending, ties
+// by id — the engine's own tie rule) and returns the top-k ids.
+func anaExactTop(vs []uint64, weight func(uint64) int64, k int) []uint64 {
+	sort.Slice(vs, func(i, j int) bool {
+		wi, wj := weight(vs[i]), weight(vs[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return vs[i] < vs[j]
+	})
+	if len(vs) > k {
+		vs = vs[:k]
+	}
+	return vs
+}
+
+func anaSign(x int64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// analyticsRun measures and verifies one (dataset, shard count) row.
+func analyticsRun(ds *Dataset, n int, seed int64) (analyticsResult, error) {
+	var res analyticsResult
+	pl, err := anaPlanFor(ds)
+	if err != nil {
+		return res, err
+	}
+
+	cfg := shard.DefaultConfig()
+	cfg.Shards = n
+	cfg.Core.Seed = uint64(seed)
+	s, err := shard.New(cfg)
+	if err != nil {
+		return res, fmt.Errorf("bench: analytics %d: %w", n, err)
+	}
+	defer s.Close()
+	eng, err := analytics.New(analytics.Config{Shards: n, Seed: cfg.Core.Seed, EpochSeconds: pl.epochLen})
+	if err != nil {
+		return res, fmt.Errorf("bench: analytics %d: %w", n, err)
+	}
+	// Registered before the first edge, exactly as higgsd does before WAL
+	// replay: the committer apply path is the only writer the sketches see.
+	s.SetApplyObserver(eng)
+
+	// The combined stream, time-ordered, split into three slabs around the
+	// delta windows; an exact.Store absorbs the same edges as ground truth.
+	combined := make(stream.Stream, 0, len(ds.Stream)+len(pl.planted))
+	combined = append(combined, ds.Stream...)
+	combined = append(combined, pl.planted...)
+	sort.SliceStable(combined, func(i, j int) bool { return combined[i].T < combined[j].T })
+	ex := exact.New()
+	var totalW int64
+	for _, e := range combined {
+		ex.Insert(e)
+		totalW += e.W
+	}
+	slabEnd := func(hi int64) int {
+		return sort.Search(len(combined), func(i int) bool { return combined[i].T > hi })
+	}
+	slabs := []struct {
+		name string
+		lo   int
+		hi   int
+	}{
+		{"base-window", 0, slabEnd(pl.baseLo)},
+		{"mid-window", slabEnd(pl.baseLo), slabEnd(pl.baseHi)},
+		{"compare-window", slabEnd(pl.baseHi), len(combined)},
+	}
+
+	// Ingest through the async group-commit pipeline, flushing at every
+	// slab boundary, with the retention expire interleaved after the first
+	// slab — the sketches must survive leaves being reclaimed under them.
+	p, err := ingest.New(s, ingest.Config{Mode: ingest.ModeAsync, CommitInterval: 200 * time.Microsecond})
+	if err != nil {
+		return res, fmt.Errorf("bench: analytics %d: %w", n, err)
+	}
+	defer p.Close() // idempotent; covers error returns
+	start := time.Now()
+	for si, slab := range slabs {
+		for lo := slab.lo; lo < slab.hi; lo += anaBatch {
+			hi := lo + anaBatch
+			if hi > slab.hi {
+				hi = slab.hi
+			}
+			if err := submitRetry(p, combined[lo:hi]); err != nil {
+				return res, fmt.Errorf("bench: analytics %d: %s: %w", n, slab.name, err)
+			}
+		}
+		p.Flush()
+		if si == 0 {
+			if dropped := s.ExpireAt(pl.expireCut, 0); dropped <= 0 {
+				return res, fmt.Errorf("bench: analytics %d: expire at %d dropped %d leaves; the interleave never bites", n, pl.expireCut, dropped)
+			}
+		}
+	}
+	res.ingestEPS = metrics.Throughput(int64(len(combined)), time.Since(start))
+	p.Close()
+
+	// Sketch-maintenance invariant: the apply path showed the engine every
+	// edge and every unit of weight exactly once, and the expire was
+	// observed too.
+	st := eng.Stats()
+	if st.Edges != int64(len(combined)) || st.Weight != totalW {
+		return res, fmt.Errorf("bench: analytics %d: engine absorbed %d edges / %d weight through the apply path, want %d / %d",
+			n, st.Edges, st.Weight, len(combined), totalW)
+	}
+	if st.Expires < 1 {
+		return res, fmt.Errorf("bench: analytics %d: engine observed no expire events", n)
+	}
+
+	// One mixed batch through the real executor seam: both heavy-hitter
+	// directions, bursts, and both delta kinds.
+	deltaCands := []uint64{anaRiser, anaFaller, anaNeutral}
+	deltaEdges := [][2]uint64{{anaRiser, anaDeltaSink}, {anaFaller, anaDeltaSink + 1}}
+	qs := []query.Query{
+		query.NewHeavyHitters(query.DirOut, anaHeavies),
+		query.NewHeavyHitters(query.DirIn, anaHeavies),
+		query.NewBurst(query.MaxTopK),
+		query.NewDeltaVertex(deltaCands, pl.baseLo, pl.baseHi, pl.cmpLo, pl.cmpHi),
+		query.NewDeltaEdge(deltaEdges, pl.baseLo, pl.baseHi, pl.cmpLo, pl.cmpHi),
+	}
+	rs := query.DoBatchWith(s, eng, qs)
+	for i, r := range rs {
+		if r.Err != nil {
+			return res, fmt.Errorf("bench: analytics %d: query %d (%v): %w", n, i, qs[i].Kind, r.Err)
+		}
+	}
+
+	// Contract 1 — heavy hitters ≡ exact, in order, both directions.
+	lifetime := func(f func(uint64, int64, int64) int64) func(uint64) int64 {
+		return func(v uint64) int64 { return f(v, pl.first, pl.last) }
+	}
+	wantOut := anaExactTop(ex.Vertices(), lifetime(ex.VertexOut), anaHeavies)
+	dests := make(map[uint64]struct{})
+	for _, e := range ex.Edges() {
+		dests[e[1]] = struct{}{}
+	}
+	inVs := make([]uint64, 0, len(dests))
+	for v := range dests {
+		inVs = append(inVs, v)
+	}
+	wantIn := anaExactTop(inVs, lifetime(ex.VertexIn), anaHeavies)
+	for _, c := range []struct {
+		dir   string
+		got   []query.Entry
+		want  []uint64
+		exact func(uint64) int64
+	}{
+		{"out", rs[0].Top, wantOut, lifetime(ex.VertexOut)},
+		{"in", rs[1].Top, wantIn, lifetime(ex.VertexIn)},
+	} {
+		if len(c.got) != len(c.want) {
+			return res, fmt.Errorf("bench: analytics %d: %s heavy hitters returned %d entries, want %d", n, c.dir, len(c.got), len(c.want))
+		}
+		for i, e := range c.got {
+			if e.S != c.want[i] {
+				return res, fmt.Errorf("bench: analytics %d: %s heavy hitter rank %d = vertex %d, exact ground truth says %d",
+					n, c.dir, i, e.S, c.want[i])
+			}
+			if truth := c.exact(e.S); e.Cur < truth {
+				res.undercounts++
+				return res, fmt.Errorf("bench: analytics %d: %s heavy hitter %d estimate %d undercounts exact %d", n, c.dir, e.S, e.Cur, truth)
+			}
+		}
+	}
+
+	// Contract 2 — burst detection. The planted final-epoch vertex must be
+	// flagged, and its exact per-epoch weights must clear the engine's
+	// thresholds (so the detection cannot be vacuously right); the planted
+	// steady heavies must not be flagged.
+	ecfg := eng.Config()
+	curEpoch := pl.last / pl.epochLen
+	epochW := func(v uint64, ep int64) int64 {
+		return ex.VertexOut(v, ep*pl.epochLen, (ep+1)*pl.epochLen-1)
+	}
+	exCur := epochW(anaBurstVertex, curEpoch)
+	var exPrev int64
+	for ep := curEpoch - int64(ecfg.EpochRing) + 1; ep < curEpoch; ep++ {
+		exPrev += epochW(anaBurstVertex, ep)
+	}
+	exBase := exPrev / int64(ecfg.EpochRing-1)
+	if exBase < 1 {
+		exBase = 1
+	}
+	if float64(exCur)/float64(exBase) < ecfg.BurstFactor || exCur < ecfg.BurstMin {
+		return res, fmt.Errorf("bench: analytics %d: planted burst is not a burst in exact ground truth (cur %d, base %d) — the plant is broken", n, exCur, exBase)
+	}
+	var burstSeen bool
+	for _, e := range rs[2].Top {
+		switch {
+		case e.S == anaBurstVertex:
+			burstSeen = true
+			if !e.Burst {
+				return res, fmt.Errorf("bench: analytics %d: planted burst vertex scored %.1f but was not flagged", n, e.Score)
+			}
+		case e.S >= anaOutHeavyBase && e.S < anaOutHeavyBase+anaHeavies:
+			if e.Burst {
+				return res, fmt.Errorf("bench: analytics %d: steady heavy hitter %d falsely flagged as a burst (score %.1f)", n, e.S, e.Score)
+			}
+		}
+	}
+	if !burstSeen {
+		return res, fmt.Errorf("bench: analytics %d: planted burst vertex missing from the burst answer", n)
+	}
+
+	// Contract 3 — delta ranking ≡ exact (order and sign), and every
+	// Prev/Cur equals a direct summary probe of the same window while never
+	// undercounting exact.
+	window := func(v uint64, lo, hi int64, f func(uint64, int64, int64) int64) int64 { return f(v, lo, hi) }
+	_ = window
+	checkDelta := func(kind string, got []query.Entry, wantLen int,
+		exactPrev, exactCur func(query.Entry) int64, directPrev, directCur func(query.Entry) int64) error {
+		if len(got) != wantLen {
+			return fmt.Errorf("bench: analytics %d: %s returned %d entries, want %d", n, kind, len(got), wantLen)
+		}
+		// Exact ranking: |delta| descending, ties by id — rankByDelta's rule.
+		type exd struct {
+			e     query.Entry
+			delta int64
+		}
+		ranked := make([]exd, len(got))
+		for i, e := range got {
+			ranked[i] = exd{e, exactCur(e) - exactPrev(e)}
+		}
+		sort.SliceStable(ranked, func(i, j int) bool {
+			di, dj := ranked[i].delta, ranked[j].delta
+			if di < 0 {
+				di = -di
+			}
+			if dj < 0 {
+				dj = -dj
+			}
+			if di != dj {
+				return di > dj
+			}
+			return ranked[i].e.S < ranked[j].e.S
+		})
+		for i, e := range got {
+			want := ranked[i]
+			if e.S != want.e.S || e.D != want.e.D {
+				return fmt.Errorf("bench: analytics %d: %s rank %d = %d→%d, exact ground truth ranks %d→%d there",
+					n, kind, i, e.S, e.D, want.e.S, want.e.D)
+			}
+			exDelta := exactCur(e) - exactPrev(e)
+			if exDelta != 0 && anaSign(e.Delta) != anaSign(exDelta) {
+				return fmt.Errorf("bench: analytics %d: %s %d→%d delta %d has the wrong sign (exact %d)", n, kind, e.S, e.D, e.Delta, exDelta)
+			}
+			if e.Prev < exactPrev(e) || e.Cur < exactCur(e) {
+				res.undercounts++
+				return fmt.Errorf("bench: analytics %d: %s %d→%d prev/cur %d/%d undercounts exact %d/%d",
+					n, kind, e.S, e.D, e.Prev, e.Cur, exactPrev(e), exactCur(e))
+			}
+			if dp, dc := directPrev(e), directCur(e); e.Prev != dp || e.Cur != dc || e.Delta != e.Cur-e.Prev {
+				return fmt.Errorf("bench: analytics %d: %s %d→%d prev/cur/delta %d/%d/%d diverges from direct probes %d/%d",
+					n, kind, e.S, e.D, e.Prev, e.Cur, e.Delta, dp, dc)
+			}
+		}
+		return nil
+	}
+	if err := checkDelta("delta_vertex", rs[3].Top, len(deltaCands),
+		func(e query.Entry) int64 { return ex.VertexOut(e.S, pl.baseLo, pl.baseHi) },
+		func(e query.Entry) int64 { return ex.VertexOut(e.S, pl.cmpLo, pl.cmpHi) },
+		func(e query.Entry) int64 { return s.VertexOut(e.S, pl.baseLo, pl.baseHi) },
+		func(e query.Entry) int64 { return s.VertexOut(e.S, pl.cmpLo, pl.cmpHi) },
+	); err != nil {
+		return res, err
+	}
+	if err := checkDelta("delta_edge", rs[4].Top, len(deltaEdges),
+		func(e query.Entry) int64 { return ex.EdgeWeight(e.S, e.D, pl.baseLo, pl.baseHi) },
+		func(e query.Entry) int64 { return ex.EdgeWeight(e.S, e.D, pl.cmpLo, pl.cmpHi) },
+		func(e query.Entry) int64 { return s.EdgeWeight(e.S, e.D, pl.baseLo, pl.baseHi) },
+		func(e query.Entry) int64 { return s.EdgeWeight(e.S, e.D, pl.cmpLo, pl.cmpHi) },
+	); err != nil {
+		return res, err
+	}
+
+	// Contract 4 — cache transparency: the same batch through a
+	// watermark-fenced read cache, cold then warm, must match the uncached
+	// answers field for field.
+	cache, err := rcache.New(s, rcache.Config{MaxBytes: anaCacheBudget})
+	if err != nil {
+		return res, fmt.Errorf("bench: analytics %d: %w", n, err)
+	}
+	for _, pass := range []string{"cold", "warm"} {
+		crs := query.DoBatchWith(cache, eng, qs)
+		for i := range crs {
+			if crs[i].Err != nil {
+				return res, fmt.Errorf("bench: analytics %d: cached (%s) query %d: %w", n, pass, i, crs[i].Err)
+			}
+			if !reflect.DeepEqual(crs[i].Top, rs[i].Top) {
+				return res, fmt.Errorf("bench: analytics %d: cached (%s) query %d (%v) diverges from uncached: %+v vs %+v",
+					n, pass, i, qs[i].Kind, crs[i].Top, rs[i].Top)
+			}
+		}
+	}
+	return res, nil
+}

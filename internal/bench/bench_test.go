@@ -79,7 +79,7 @@ func TestCompetitorsBuildAndAgree(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 24 {
+	if len(Experiments()) != 25 {
 		t.Fatalf("registry has %d experiments", len(Experiments()))
 	}
 	var buf bytes.Buffer

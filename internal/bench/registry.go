@@ -35,6 +35,7 @@ var registry = []Experiment{
 	{"allocs", "Extra: hot-path allocation gate — 0 allocs/op + insert throughput", Allocs},
 	{"replication", "Extra: WAL-shipping replication — follower byte-equality + read scale-out", Replication},
 	{"readcache", "Extra: watermark-invalidated read cache — equivalence + zero-lock hits (internal/rcache)", ReadCache},
+	{"analytics", "Extra: stream analytics — heavy hitters, bursts, deltas vs exact (internal/analytics)", Analytics},
 }
 
 // Experiments lists all registered experiments in presentation order.

@@ -17,6 +17,7 @@ import (
 type Sketch struct {
 	rows    int
 	width   uint32
+	seed    uint64
 	counts  []int64 // rows × width
 	hashers []hashing.Hasher
 }
@@ -32,6 +33,7 @@ func New(rows int, width uint32, seed uint64) (*Sketch, error) {
 	s := &Sketch{
 		rows:    rows,
 		width:   width,
+		seed:    seed,
 		counts:  make([]int64, rows*int(width)),
 		hashers: make([]hashing.Hasher, rows),
 	}
@@ -60,6 +62,31 @@ func (s *Sketch) Count(item uint64) int64 {
 		}
 	}
 	return min
+}
+
+// Merge adds every counter of o into s. Both sketches must share geometry
+// and seed — same rows, width, and hash functions — so counter addition is
+// exactly the sketch of the union stream: for every item, each of its row
+// counters is the sum of that row's counters in the two inputs, and the
+// min over rows stays a one-sided upper bound. This is how per-shard
+// heavy-hitter sketches combine into a global answer.
+func (s *Sketch) Merge(o *Sketch) error {
+	if s.rows != o.rows || s.width != o.width || s.seed != o.seed {
+		return fmt.Errorf("cms: merge geometry mismatch: %d×%d seed %#x vs %d×%d seed %#x",
+			s.rows, s.width, s.seed, o.rows, o.width, o.seed)
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	return nil
+}
+
+// Reset zeroes every counter, keeping geometry and hash functions; epoch
+// rings reuse slots this way instead of reallocating.
+func (s *Sketch) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
 }
 
 // SpaceBytes returns the packed size: every counter at 64 bits.

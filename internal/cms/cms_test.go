@@ -1,6 +1,7 @@
 package cms
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -65,5 +66,102 @@ func TestSpaceBytes(t *testing.T) {
 	s, _ := New(3, 128, 1)
 	if got := s.SpaceBytes(); got != 3*128*8 {
 		t.Errorf("SpaceBytes = %d", got)
+	}
+}
+
+// TestZipfErrorBound: under a Zipf stream, every estimate is one-sided and
+// the overestimate stays within the CMS guarantee ε·N (ε = e/width) with
+// probability 1 − e^−rows — checked here with zero tolerated violations at
+// 4 rows, where the failure probability per item is < 2%. Heavy-hitter
+// detection rides on exactly this bound: the planted heavy items must
+// dominate the ε·N noise floor.
+func TestZipfErrorBound(t *testing.T) {
+	const (
+		rows  = 4
+		width = 1 << 12
+		n     = 200_000
+	)
+	s, err := New(rows, width, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	truth := map[uint64]int64{}
+	for i := 0; i < n; i++ {
+		k := zipf.Uint64()
+		s.Add(k, 1)
+		truth[k]++
+	}
+	// ε·N with ε = e/width ≈ 2.72/4096; generous slack factor 1 (the raw
+	// Markov bound) — a correct sketch sits far below it on Zipf input.
+	bound := int64(math.Floor(math.E * n / width))
+	violations := 0
+	for k, want := range truth {
+		got := s.Count(k)
+		if got < want {
+			t.Fatalf("Count(%d) = %d < truth %d (one-sidedness broken)", k, got, want)
+		}
+		if got-want > bound {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Errorf("%d/%d estimates exceed the ε·N = %d overestimate bound", violations, len(truth), bound)
+	}
+}
+
+// TestMergeEqualsUnionStream: merging per-shard sketches (same geometry
+// and seed) answers exactly like one sketch fed the whole stream — the
+// property the analytics engine's cross-shard heavy-hitter merge relies
+// on.
+func TestMergeEqualsUnionStream(t *testing.T) {
+	const shards = 4
+	whole, _ := New(3, 512, 9)
+	parts := make([]*Sketch, shards)
+	for i := range parts {
+		parts[i], _ = New(3, 512, 9)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20_000; i++ {
+		k := uint64(rng.Intn(3000))
+		w := int64(rng.Intn(9) + 1)
+		whole.Add(k, w)
+		parts[k%shards].Add(k, w)
+	}
+	merged, _ := New(3, 512, 9)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 3000; k++ {
+		if got, want := merged.Count(k), whole.Count(k); got != want {
+			t.Fatalf("merged.Count(%d) = %d, whole-stream sketch = %d", k, got, want)
+		}
+	}
+}
+
+// TestMergeRejectsMismatch: merging sketches with different geometry or
+// seeds would silently corrupt counts, so Merge refuses.
+func TestMergeRejectsMismatch(t *testing.T) {
+	base, _ := New(3, 512, 9)
+	for _, o := range []*Sketch{
+		func() *Sketch { s, _ := New(2, 512, 9); return s }(),
+		func() *Sketch { s, _ := New(3, 256, 9); return s }(),
+		func() *Sketch { s, _ := New(3, 512, 8); return s }(),
+	} {
+		if err := base.Merge(o); err == nil {
+			t.Errorf("merge of %d×%d seed %d accepted", o.rows, o.width, o.seed)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(3, 64, 1)
+	s.Add(5, 10)
+	s.Reset()
+	if got := s.Count(5); got != 0 {
+		t.Errorf("after Reset Count(5) = %d, want 0", got)
 	}
 }

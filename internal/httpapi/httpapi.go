@@ -1,0 +1,84 @@
+// Package httpapi holds the unified HTTP error envelope (DESIGN.md §17)
+// shared by every endpoint surface — /v1/*, /v2/*, /repl/*, /healthz.
+// Every non-2xx response in this repository is one JSON shape:
+//
+//	{"error": "<human message>", "code": "<stable machine code>", "retry_after_ms": <int, only on 429>}
+//
+// so clients branch on "code" instead of parsing English, and a single
+// retry loop handles every endpoint's backpressure.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Stable envelope codes for failures that originate in the HTTP layer
+// itself. Query-validation failures carry their own codes from
+// internal/query (query.ErrCode); admission shed carries the codes below.
+const (
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeBadRequest: a malformed request the server refuses to guess at —
+	// an undecodable body or parameter.
+	CodeBadRequest = "bad_request"
+	// CodeBodyTooLarge: the request body tripped an endpoint's byte cap.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeBadEnvelope: the /v2/query envelope is malformed (not a JSON
+	// array, or over the batch item limit).
+	CodeBadEnvelope = "bad_envelope"
+	// CodeProbeBudget: a /v2/query envelope plans more per-shard probes
+	// than one batch may.
+	CodeProbeBudget = "probe_budget_exceeded"
+	// CodeIngestBackpressure: a shard ingest queue is full; retry the same
+	// batch after the hinted pause.
+	CodeIngestBackpressure = "ingest_backpressure"
+	// CodeRateLimited: the client's admission token bucket is empty.
+	CodeRateLimited = "rate_limited"
+	// CodeOverloaded: an admission concurrency budget (and its wait queue)
+	// is full.
+	CodeOverloaded = "overloaded"
+	// CodeReadOnlyReplica: a write reached a read-only replica.
+	CodeReadOnlyReplica = "read_only_replica"
+	// CodeShuttingDown: the server is draining for shutdown.
+	CodeShuttingDown = "shutting_down"
+	// CodeWALOwned: snapshot upload rejected because the WAL owns the
+	// durable state.
+	CodeWALOwned = "wal_owned"
+	// CodeTruncated: a /repl/wal resume point was truncated away; the
+	// follower must resync from /repl/snapshot.
+	CodeTruncated = "truncated"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// Envelope is the wire shape of every non-2xx response.
+type Envelope struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Error writes the envelope with the given status, code, and message.
+func Error(w http.ResponseWriter, status int, code, format string, args ...any) {
+	write(w, status, Envelope{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// ErrorRetry is Error with a client pacing hint: retry_after_ms in the
+// envelope plus the standard Retry-After header (whole seconds, rounded
+// up, minimum 1).
+func ErrorRetry(w http.ResponseWriter, status int, code string, retryAfterMS int64, format string, args ...any) {
+	secs := (retryAfterMS + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	write(w, status, Envelope{Error: fmt.Sprintf(format, args...), Code: code, RetryAfterMS: retryAfterMS})
+}
+
+func write(w http.ResponseWriter, status int, e Envelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(e)
+}

@@ -10,8 +10,24 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a lock-free monotonically-increasing event counter, safe for
+// concurrent use. Subsystems (e.g. internal/analytics) expose Counters
+// that /healthz reads without synchronizing with the hot paths that bump
+// them.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Accuracy accumulates AAE and ARE over a query set (paper Eq. 17):
 //

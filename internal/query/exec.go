@@ -1,6 +1,9 @@
 package query
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Op selects the single-shard primitive a Probe evaluates.
 type Op uint8
@@ -37,6 +40,46 @@ type Prober interface {
 	ProbeShard(i int, probes []Probe, out []int64)
 }
 
+// Entry is one row of a ranked analytics answer. The delta kinds fill
+// Prev/Cur/Delta (base-window weight, compare-window weight, Cur−Prev);
+// heavy_hitters fills Cur with the sketch's weight estimate; burst fills
+// Cur (current-epoch weight), Prev (per-epoch baseline), Score
+// (Cur/max(Prev,1)), and Burst (score cleared the engine's threshold).
+// D is set only for edge-grained entries (delta_edge).
+type Entry struct {
+	S     uint64  `json:"s"`
+	D     uint64  `json:"d,omitempty"`
+	Cur   int64   `json:"cur"`
+	Prev  int64   `json:"prev,omitempty"`
+	Delta int64   `json:"delta,omitempty"`
+	Score float64 `json:"score,omitempty"`
+	Burst bool    `json:"burst,omitempty"`
+}
+
+// Result is the answer to one Query: the estimated aggregated weight (the
+// scalar kinds), a ranked Top list (the analytics kinds), or the per-query
+// validation error. A weight is a sum of per-shard one-sided estimates and
+// never under-estimates the truth; delta entries are differences of two
+// such estimates over the two windows.
+type Result struct {
+	Weight int64
+	Top    []Entry
+	Err    error
+}
+
+// Analytics serves the sketch-backed query kinds (heavy_hitters, burst)
+// that have no probe decomposition; internal/analytics implements it. A
+// Prober may also implement Analytics, in which case DoBatch discovers it
+// by type assertion.
+type Analytics interface {
+	// HeavyHitters returns the top-k tracked vertices by total out-weight
+	// (dir "out" or "") or in-weight (dir "in"), heaviest first.
+	HeavyHitters(dir string, k int) []Entry
+	// Bursts returns the top-k tracked vertices by rate-of-change score
+	// over recent epochs, highest score first.
+	Bursts(k int) []Entry
+}
+
 // Do answers one query. It is the one-element case of DoBatch: invalid
 // queries come back with Err set, single-shard kinds touch only their
 // shard, and fan-out kinds visit each shard once. Single-probe kinds
@@ -60,17 +103,33 @@ func Do(p Prober, q Query) Result {
 	return DoBatch(p, []Query{q})[0]
 }
 
-// DoBatch answers a batch of queries, visiting every shard at most once:
-// the constituent probes of all valid queries are grouped by shard, each
-// shard's group is evaluated under a single read-lock acquisition
+// DoBatch answers a batch of queries, visiting every shard at most once.
+// It is DoBatchWith with no explicit analytics backend: if the Prober also
+// implements Analytics, the sketch-served kinds use it, otherwise they fail
+// with CodeAnalyticsDisabled.
+func DoBatch(p Prober, qs []Query) []Result {
+	a, _ := p.(Analytics)
+	return DoBatchWith(p, a, qs)
+}
+
+// DoBatchWith answers a batch of queries, visiting every shard at most
+// once: the constituent probes of all valid queries are grouped by shard,
+// each shard's group is evaluated under a single read-lock acquisition
 // (concurrently across shards when more than one is touched), and each
 // query's estimate is the sum of its probes' results — the same one-sided
 // merge the per-kind methods perform, amortized over the batch.
 //
-// Results align with the input: res[i] answers qs[i], carrying either its
-// weight or its validation error. Invalid queries do not affect their
-// neighbors.
-func DoBatch(p Prober, qs []Query) []Result {
+// The delta kinds decompose into the same probes — two one-sided window
+// estimates per candidate, planned contiguously — so they flow through the
+// identical shard/read-cache/lock-bound machinery; only their merge
+// differs (ranked differences instead of a span sum). The sketch kinds
+// never plan probes: they are answered by a, and fail with
+// CodeAnalyticsDisabled when a is nil.
+//
+// Results align with the input: res[i] answers qs[i], carrying its weight,
+// its ranked Top list, or its validation error. Invalid queries do not
+// affect their neighbors.
+func DoBatchWith(p Prober, a Analytics, qs []Query) []Result {
 	res := make([]Result, len(qs))
 	n := p.NumShards()
 
@@ -112,6 +171,29 @@ func DoBatch(p Prober, qs []Query) []Result {
 			for _, e := range q.Edges {
 				add(p.ShardFor(e[0]), Probe{Op: OpEdge, S: e[0], D: e[1], Ts: q.Ts, Te: q.Te})
 			}
+		case KindDeltaVertex:
+			// Per candidate: base-window probes, then compare-window probes,
+			// contiguous — the merge walks fixed-size strides.
+			for _, v := range q.Candidates {
+				if q.Dir == DirIn {
+					for i := 0; i < n; i++ {
+						add(i, Probe{Op: OpVertexIn, S: v, Ts: q.Ts, Te: q.Te})
+					}
+					for i := 0; i < n; i++ {
+						add(i, Probe{Op: OpVertexIn, S: v, Ts: q.Ts2, Te: q.Te2})
+					}
+				} else {
+					add(p.ShardFor(v), Probe{Op: OpVertexOut, S: v, Ts: q.Ts, Te: q.Te})
+					add(p.ShardFor(v), Probe{Op: OpVertexOut, S: v, Ts: q.Ts2, Te: q.Te2})
+				}
+			}
+		case KindDeltaEdge:
+			for _, e := range q.Edges {
+				add(p.ShardFor(e[0]), Probe{Op: OpEdge, S: e[0], D: e[1], Ts: q.Ts, Te: q.Te})
+				add(p.ShardFor(e[0]), Probe{Op: OpEdge, S: e[0], D: e[1], Ts: q.Ts2, Te: q.Te2})
+			}
+		case KindHeavyHitters, KindBurst:
+			// Sketch-served: no probes. Answered after execution below.
 		}
 		spans[qi].end = slot
 	}
@@ -152,16 +234,91 @@ func DoBatch(p Prober, qs []Query) []Result {
 		wg.Wait()
 	}
 
-	// Merge: each valid query is the sum of its span.
-	for qi := range qs {
+	// Merge: each valid scalar query is the sum of its span; each delta
+	// query ranks its candidates by |compare − base| over fixed-size
+	// strides of its span; each sketch query asks the analytics backend.
+	for qi, q := range qs {
 		if res[qi].Err != nil {
 			continue
 		}
-		var sum int64
-		for s := spans[qi].start; s < spans[qi].end; s++ {
-			sum += vals[s]
+		switch q.Kind {
+		case KindDeltaVertex:
+			per := 1
+			if q.Dir == DirIn {
+				per = n
+			}
+			entries := make([]Entry, len(q.Candidates))
+			for ci, v := range q.Candidates {
+				base := spans[qi].start + ci*2*per
+				var prev, cur int64
+				for j := 0; j < per; j++ {
+					prev += vals[base+j]
+					cur += vals[base+per+j]
+				}
+				entries[ci] = Entry{S: v, Prev: prev, Cur: cur, Delta: cur - prev}
+			}
+			res[qi].Top = rankByDelta(entries, q.K)
+		case KindDeltaEdge:
+			entries := make([]Entry, len(q.Edges))
+			for ci, e := range q.Edges {
+				base := spans[qi].start + ci*2
+				prev, cur := vals[base], vals[base+1]
+				entries[ci] = Entry{S: e[0], D: e[1], Prev: prev, Cur: cur, Delta: cur - prev}
+			}
+			res[qi].Top = rankByDelta(entries, q.K)
+		case KindHeavyHitters:
+			if a == nil {
+				res[qi].Err = errf(CodeAnalyticsDisabled, "heavy_hitters query needs the analytics engine (start higgsd with -analytics)")
+				continue
+			}
+			res[qi].Top = a.HeavyHitters(q.Dir, topK(q.K))
+		case KindBurst:
+			if a == nil {
+				res[qi].Err = errf(CodeAnalyticsDisabled, "burst query needs the analytics engine (start higgsd with -analytics)")
+				continue
+			}
+			res[qi].Top = a.Bursts(topK(q.K))
+		default:
+			var sum int64
+			for s := spans[qi].start; s < spans[qi].end; s++ {
+				sum += vals[s]
+			}
+			res[qi].Weight = sum
 		}
-		res[qi].Weight = sum
 	}
 	return res
+}
+
+// topK resolves a query's K field to the effective ranked-output size.
+func topK(k int) int {
+	if k <= 0 {
+		return DefaultTopK
+	}
+	return k
+}
+
+// rankByDelta sorts entries by |Delta| descending (ties by S then D
+// ascending, so ranking is deterministic) and truncates to the effective
+// top-k.
+func rankByDelta(entries []Entry, k int) []Entry {
+	sort.Slice(entries, func(i, j int) bool {
+		di, dj := entries[i].Delta, entries[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		if entries[i].S != entries[j].S {
+			return entries[i].S < entries[j].S
+		}
+		return entries[i].D < entries[j].D
+	})
+	if kk := topK(k); len(entries) > kk {
+		entries = entries[:kk]
+	}
+	return entries
 }

@@ -34,11 +34,23 @@ const (
 	KindVertexIn              // aggregated weight of V's incoming edges
 	KindPath                  // sum of edge weights along Path
 	KindSubgraph              // total weight of the Edges set
+
+	// The analytics kinds (DESIGN.md §17). The delta kinds decompose into
+	// ordinary per-shard probes — two one-sided window estimates per
+	// candidate — and rank candidates by how much their weight changed
+	// between the two windows. The sketch kinds (heavy_hitters, burst) are
+	// answered from an analytics engine's committer-maintained sketches in
+	// O(k) without touching a shard.
+	KindDeltaVertex  // top-k candidates by |window B − window A| out/in-weight
+	KindDeltaEdge    // top-k candidate edges by |window B − window A| weight
+	KindHeavyHitters // top-k vertices by total out/in-weight (sketch-served)
+	KindBurst        // top-k vertices by rate-of-change over recent epochs
 )
 
 // kindNames is the wire form of each Kind, in declaration order; the
 // zero Kind has no wire form.
-var kindNames = [...]string{"", "edge", "vertex_out", "vertex_in", "path", "subgraph"}
+var kindNames = [...]string{"", "edge", "vertex_out", "vertex_in", "path", "subgraph",
+	"delta_vertex", "delta_edge", "heavy_hitters", "burst"}
 
 // String returns the wire name of the kind ("edge", "vertex_out", ...).
 func (k Kind) String() string {
@@ -93,10 +105,41 @@ type Query struct {
 	D     uint64      `json:"d,omitempty"`     // edge destination (KindEdge)
 	V     uint64      `json:"v,omitempty"`     // vertex (KindVertexOut, KindVertexIn)
 	Path  []uint64    `json:"path,omitempty"`  // ≥ 2 vertices (KindPath)
-	Edges [][2]uint64 `json:"edges,omitempty"` // edge set (KindSubgraph)
+	Edges [][2]uint64 `json:"edges,omitempty"` // edge set (KindSubgraph, KindDeltaEdge)
 	Ts    int64       `json:"ts"`
 	Te    int64       `json:"te"`
+
+	// Analytics fields (DESIGN.md §17). [Ts2, Te2] is the compare window of
+	// the delta kinds: candidates are ranked by |weight in [Ts2,Te2] −
+	// weight in [Ts,Te]|. K caps the ranked output (0 = DefaultTopK). Dir
+	// selects the degree direction of delta_vertex and heavy_hitters ("" =
+	// "out"). Candidates is the delta_vertex candidate set; the server
+	// fills it from the analytics engine's tracked heavy hitters when a
+	// client omits it.
+	Ts2        int64    `json:"ts2,omitempty"`
+	Te2        int64    `json:"te2,omitempty"`
+	K          int      `json:"k,omitempty"`
+	Dir        string   `json:"dir,omitempty"`
+	Candidates []uint64 `json:"candidates,omitempty"`
 }
+
+// Degree directions of delta_vertex and heavy_hitters queries.
+const (
+	DirOut = "out"
+	DirIn  = "in"
+)
+
+// DefaultTopK is the ranked-output size when a query leaves K zero.
+const DefaultTopK = 10
+
+// MaxTopK bounds K: ranked answers are meant to be glanceable top-k lists,
+// not full scans in disguise.
+const MaxTopK = 256
+
+// MaxCandidates bounds a delta candidate set, so one item cannot plan an
+// unbounded number of probes (admission budgets see the real count, but the
+// per-item cap keeps a single query's planning cost sane).
+const MaxCandidates = 4096
 
 // NewEdge returns an edge-weight query for s→d over [ts, te].
 func NewEdge(s, d uint64, ts, te int64) Query {
@@ -123,45 +166,126 @@ func NewSubgraph(edges [][2]uint64, ts, te int64) Query {
 	return Query{Kind: KindSubgraph, Edges: edges, Ts: ts, Te: te}
 }
 
+// NewDeltaVertex returns a vertex delta query: each candidate's out-weight
+// is estimated over the base window [ts, te] and the compare window
+// [ts2, te2], and candidates are ranked by |compare − base|. Set Dir to
+// DirIn for in-weight deltas and K to cap the ranked output.
+func NewDeltaVertex(candidates []uint64, ts, te, ts2, te2 int64) Query {
+	return Query{Kind: KindDeltaVertex, Candidates: candidates, Ts: ts, Te: te, Ts2: ts2, Te2: te2}
+}
+
+// NewDeltaEdge returns an edge delta query over the candidate edge set:
+// each edge's weight is estimated over both windows and edges are ranked by
+// |compare − base|.
+func NewDeltaEdge(edges [][2]uint64, ts, te, ts2, te2 int64) Query {
+	return Query{Kind: KindDeltaEdge, Edges: edges, Ts: ts, Te: te, Ts2: ts2, Te2: te2}
+}
+
+// NewHeavyHitters returns a heavy-hitter query: the top-k vertices by total
+// admitted out-weight (dir DirOut or "") or in-weight (DirIn), served from
+// the analytics engine's sketches in O(k) without touching a shard.
+func NewHeavyHitters(dir string, k int) Query {
+	return Query{Kind: KindHeavyHitters, Dir: dir, K: k}
+}
+
+// NewBurst returns a burst query: the top-k vertices by rate-of-change
+// score over the analytics engine's recent epochs, each flagged when the
+// score clears the engine's burst threshold.
+func NewBurst(k int) Query {
+	return Query{Kind: KindBurst, K: k}
+}
+
 // Validate reports why the query cannot be answered: a missing or
-// unknown kind, an inverted time window, a path too short to contain an
-// edge, or a subgraph with no edges. An empty subgraph is rejected rather
-// than answered zero — like a one-vertex path, it asks about nothing, and
-// a silent zero reads as "that subgraph carries no weight".
+// unknown kind, an inverted or zero-value time window, a path too short to
+// contain an edge, a subgraph with no edges, or analytics parameters out of
+// range. An empty subgraph is rejected rather than answered zero — like a
+// one-vertex path, it asks about nothing, and a silent zero reads as "that
+// subgraph carries no weight". A zero-value window {ts:0, te:0} is rejected
+// for the same reason: it is almost always an item that never set its
+// window, and silently answering the weight at instant 0 hides the bug.
+// Every error is a *Error carrying a stable code (see errors.go).
 func (q Query) Validate() error {
 	switch q.Kind {
 	case KindEdge, KindVertexOut, KindVertexIn:
 	case KindPath:
 		if len(q.Path) < 2 {
-			return fmt.Errorf("path query needs ≥ 2 vertices, got %d", len(q.Path))
+			return errf(CodeShortPath, "path query needs ≥ 2 vertices, got %d", len(q.Path))
 		}
 	case KindSubgraph:
 		if len(q.Edges) == 0 {
-			return fmt.Errorf("subgraph query needs ≥ 1 edge, got 0")
+			return errf(CodeEmptySubgraph, "subgraph query needs ≥ 1 edge, got 0")
 		}
+	case KindDeltaVertex:
+		if len(q.Candidates) == 0 {
+			return errf(CodeMissingCandidates, "delta_vertex query needs ≥ 1 candidate vertex (the server fills candidates from the analytics engine when enabled)")
+		}
+		if len(q.Candidates) > MaxCandidates {
+			return errf(CodeTooManyCandidates, "delta_vertex query has %d candidates, max %d", len(q.Candidates), MaxCandidates)
+		}
+		if err := q.validateDir(); err != nil {
+			return err
+		}
+	case KindDeltaEdge:
+		if len(q.Edges) == 0 {
+			return errf(CodeEmptySubgraph, "delta_edge query needs ≥ 1 candidate edge, got 0")
+		}
+		if len(q.Edges) > MaxCandidates {
+			return errf(CodeTooManyCandidates, "delta_edge query has %d candidate edges, max %d", len(q.Edges), MaxCandidates)
+		}
+	case KindHeavyHitters:
+		if err := q.validateDir(); err != nil {
+			return err
+		}
+		return q.validateTopK() // sketch-served: no window to check
+	case KindBurst:
+		return q.validateTopK() // sketch-served: no window to check
 	case kindMissing:
-		return fmt.Errorf("missing query kind (want one of %s)", strings.Join(kindNames[KindEdge:], ", "))
+		return errf(CodeMissingKind, "missing query kind (want one of %s)", strings.Join(kindNames[KindEdge:], ", "))
 	default:
-		return fmt.Errorf("unknown query kind %d", uint8(q.Kind))
+		return errf(CodeUnknownKind, "unknown query kind %d", uint8(q.Kind))
 	}
 	if q.Te < q.Ts {
-		return fmt.Errorf("inverted time range: te = %d < ts = %d", q.Te, q.Ts)
+		return errf(CodeInvertedWindow, "inverted time range: te = %d < ts = %d", q.Te, q.Ts)
+	}
+	if q.Ts == 0 && q.Te == 0 {
+		return errf(CodeZeroWindow, "zero-value window {ts:0, te:0}: set the query window explicitly")
+	}
+	if q.Kind == KindDeltaVertex || q.Kind == KindDeltaEdge {
+		if q.Te2 < q.Ts2 {
+			return errf(CodeInvertedWindow, "inverted compare window: te2 = %d < ts2 = %d", q.Te2, q.Ts2)
+		}
+		if q.Ts2 == 0 && q.Te2 == 0 {
+			return errf(CodeZeroWindow, "zero-value compare window {ts2:0, te2:0}: delta queries need both windows")
+		}
+		return q.validateTopK()
 	}
 	return nil
 }
 
-// Result is the answer to one Query: the estimated aggregated weight, or
-// the per-query validation error. A weight is a sum of per-shard one-sided
-// estimates and never under-estimates the truth.
-type Result struct {
-	Weight int64
-	Err    error
+// validateDir checks the degree direction of delta_vertex / heavy_hitters.
+func (q Query) validateDir() error {
+	if q.Dir != "" && q.Dir != DirOut && q.Dir != DirIn {
+		return errf(CodeBadDirection, "bad direction %q (want %q or %q)", q.Dir, DirOut, DirIn)
+	}
+	return nil
+}
+
+// validateTopK checks the ranked-output size of the analytics kinds.
+func (q Query) validateTopK() error {
+	if q.K < 0 || q.K > MaxTopK {
+		return errf(CodeBadTopK, "bad top-k %d (want 0 < k ≤ %d, or 0 for the default %d)", q.K, MaxTopK, DefaultTopK)
+	}
+	return nil
 }
 
 // ProbeCount returns how many single-shard probes the query plans on an
 // n-shard backend — what its execution will cost — without planning it: 1
 // for edge and vertex-out, n for vertex-in (one partial estimate per
-// shard), one per constituent edge for path and subgraph. Invalid queries
+// shard), one per constituent edge for path and subgraph. A delta query
+// costs two window estimates per candidate (2 probes per candidate edge,
+// 2 or 2n per candidate vertex depending on direction); the sketch-served
+// kinds (heavy_hitters, burst) never touch a shard and count 1 so a batch
+// of them still meters against per-client rate budgets. Invalid queries
 // plan nothing and count 0 (the executor rejects them before expansion),
 // so they can never push a batch over an admission budget. Admission
 // layers use this to bound a batch's total work up front.
@@ -178,6 +302,16 @@ func (q Query) ProbeCount(n int) int {
 		return len(q.Path) - 1
 	case KindSubgraph:
 		return len(q.Edges)
+	case KindDeltaVertex:
+		per := 1
+		if q.Dir == DirIn {
+			per = n
+		}
+		return 2 * per * len(q.Candidates)
+	case KindDeltaEdge:
+		return 2 * len(q.Edges)
+	case KindHeavyHitters, KindBurst:
+		return 1
 	}
 	return 0
 }

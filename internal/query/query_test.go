@@ -95,7 +95,7 @@ func seedFake(f *fakeProber) {
 }
 
 func TestKindRoundTrip(t *testing.T) {
-	for k := KindEdge; k <= KindSubgraph; k++ {
+	for k := KindEdge; k <= KindBurst; k++ {
 		got, err := ParseKind(k.String())
 		if err != nil {
 			t.Fatalf("ParseKind(%q): %v", k.String(), err)

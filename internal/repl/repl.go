@@ -17,11 +17,11 @@ package repl
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
+	"higgs/internal/httpapi"
 	"higgs/internal/shard"
 	"higgs/internal/wal"
 )
@@ -66,7 +66,7 @@ func (p *Primary) Handler() http.Handler {
 
 func (p *Primary) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		httpapi.Error(w, http.StatusMethodNotAllowed, httpapi.CodeMethodNotAllowed, "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -85,7 +85,7 @@ func (p *Primary) handleInfo(w http.ResponseWriter, r *http.Request) {
 // contract ingest.WriteSnapshot relies on for crash recovery).
 func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		httpapi.Error(w, http.StatusMethodNotAllowed, httpapi.CodeMethodNotAllowed, "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -105,7 +105,7 @@ func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // at; a response may carry zero records (frontier unchanged).
 func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		httpapi.Error(w, http.StatusMethodNotAllowed, httpapi.CodeMethodNotAllowed, "GET required")
 		return
 	}
 	q := r.URL.Query()
@@ -113,7 +113,7 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("after"); v != "" {
 		var err error
 		if after, err = strconv.ParseUint(v, 10, 64); err != nil {
-			http.Error(w, fmt.Sprintf("after: %v", err), http.StatusBadRequest)
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, "after: %v", err)
 			return
 		}
 	}
@@ -121,7 +121,7 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("wait"); v != "" {
 		var err error
 		if wait, err = time.ParseDuration(v); err != nil {
-			http.Error(w, fmt.Sprintf("wait: %v", err), http.StatusBadRequest)
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, "wait: %v", err)
 			return
 		}
 		if wait > maxPollWait {
@@ -133,7 +133,7 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 		frontier = p.log.WaitSyncedBeyond(after, wait)
 	}
 	if p.log.FirstSeq() > after+1 {
-		http.Error(w, "requested records truncated; fetch /repl/snapshot", http.StatusGone)
+		httpapi.Error(w, http.StatusGone, httpapi.CodeTruncated, "requested records truncated; fetch /repl/snapshot")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")

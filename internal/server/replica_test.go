@@ -154,7 +154,7 @@ func TestReplicaReplaceSummary(t *testing.T) {
 // monitoring consumer can rely on it.
 func TestHealthzContract(t *testing.T) {
 	topKeys := []string{
-		"admission", "durability", "ingest", "memory", "read_cache",
+		"admission", "analytics", "durability", "ingest", "memory", "read_cache",
 		"replication", "retention", "shards", "status", "uptime_seconds", "version",
 	}
 	memKeys := []string{"heap_alloc_bytes", "heap_inuse_bytes", "mallocs", "num_gc", "total_alloc_bytes"}
@@ -293,6 +293,13 @@ func TestHealthzContract(t *testing.T) {
 			}
 			if _, ok := admission["enabled"]; !ok {
 				t.Fatalf("admission %v missing enabled field", admission)
+			}
+			var analyticsBlock map[string]any
+			if err := json.Unmarshal(got["analytics"], &analyticsBlock); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := analyticsBlock["enabled"]; !ok {
+				t.Fatalf("analytics %v missing enabled field", analyticsBlock)
 			}
 			var uptime float64
 			if err := json.Unmarshal(got["uptime_seconds"], &uptime); err != nil {

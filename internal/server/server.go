@@ -63,6 +63,8 @@ import (
 	"time"
 
 	"higgs/internal/admit"
+	"higgs/internal/analytics"
+	"higgs/internal/httpapi"
 	"higgs/internal/ingest"
 	"higgs/internal/query"
 	"higgs/internal/rcache"
@@ -92,6 +94,11 @@ type state struct {
 	read query.Prober
 	// cache is non-nil exactly when read is the cache, for /healthz stats.
 	cache *rcache.Cache
+	// eng is the analytics engine observing sum (nil when analytics is
+	// off). It swaps with the summary: the sketches mirror exactly one
+	// summary's apply stream, so replacing the summary replaces the engine
+	// in the same atomic pointer swap (DESIGN.md §17).
+	eng *analytics.Engine
 }
 
 // Server wraps a sharded HIGGS summary with an HTTP API. The
@@ -104,6 +111,7 @@ type Server struct {
 	replica     bool
 	start       time.Time
 	cacheBytes  atomic.Int64
+	anaCfg      atomic.Pointer[analytics.Config]
 	admission   atomic.Pointer[admit.Controller]
 	durability  atomic.Pointer[func() DurabilityStatus]
 	retention   atomic.Pointer[func() RetentionStatus]
@@ -247,7 +255,71 @@ func (s *Server) newState(sum *shard.Summary, pipe *ingest.Pipeline) *state {
 		st.cache = c
 		st.read = c
 	}
+	if cfgp := s.anaCfg.Load(); cfgp != nil {
+		cfg := *cfgp
+		cfg.Shards = sum.NumShards()
+		cfg.Seed = sum.Config().Core.Seed
+		if eng, err := analytics.New(cfg); err == nil {
+			// Register before the state becomes visible, so the engine sees
+			// every apply the new summary receives once served. The swapped-in
+			// summary's pre-existing contents are not back-filled into the
+			// sketches; heavy hitters re-converge from the live stream.
+			sum.SetApplyObserver(eng)
+			st.eng = eng
+		}
+	}
 	return st
+}
+
+// defaultDeltaCandidates caps the server-filled candidate set of a
+// delta_vertex item that omitted its own: the engine's top tracked
+// vertices, enough to rank "what changed most" without letting a
+// convenience default plan thousands of probes.
+const defaultDeltaCandidates = 256
+
+// SetAnalytics enables the stream-analytics subsystem (DESIGN.md §17):
+// an analytics engine is built over the served summary, registered as its
+// apply observer, and rebuilt over the new summary on every later swap —
+// exactly like the read cache, the engine and its summary are one atomic
+// unit. Shards and Seed are derived from the served summary; the zero
+// Config selects the documented defaults. cmd/higgsd maps the -analytics*
+// flags onto it.
+func (s *Server) SetAnalytics(cfg analytics.Config) error {
+	probe := cfg
+	probe.Shards = s.st.Load().sum.NumShards()
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	s.anaCfg.Store(&cfg)
+	for {
+		old := s.st.Load()
+		if s.st.CompareAndSwap(old, s.newState(old.sum, old.pipe)) {
+			return nil
+		}
+	}
+}
+
+// SetAnalyticsEngine adopts an engine that is already observing the served
+// summary — the WAL-recovery path: cmd/higgsd registers the engine before
+// replaying the log so the sketches absorb recovered edges, then hands it
+// to the server here. Later summary swaps rebuild a fresh engine from the
+// adopted engine's configuration, exactly as SetAnalytics.
+func (s *Server) SetAnalyticsEngine(eng *analytics.Engine) {
+	cfg := eng.Config()
+	s.anaCfg.Store(&cfg)
+	for {
+		old := s.st.Load()
+		next := &state{sum: old.sum, pipe: old.pipe, read: old.read, cache: old.cache, eng: eng}
+		if s.st.CompareAndSwap(old, next) {
+			return
+		}
+		// A concurrent swap installed a state built by newState: it already
+		// carries a fresh engine for its (new) summary, which is correct —
+		// the adopted engine mirrored the old summary. Stop.
+		if s.st.Load().eng != nil {
+			return
+		}
+	}
 }
 
 // SetReadCache installs (or, with maxBytes 0, removes) a watermark-
@@ -297,12 +369,15 @@ func (s *Server) admitQuery(w http.ResponseWriter, r *http.Request, probes int) 
 	}
 	release, err := ctrl.Admit(client, probes)
 	if err != nil {
-		secs := int(ctrl.RetryAfter().Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
+		code := httpapi.CodeOverloaded
+		if errors.Is(err, admit.ErrRateLimited) {
+			code = httpapi.CodeRateLimited
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		httpError(w, http.StatusTooManyRequests, "%v", err)
+		ms := ctrl.RetryAfter().Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		httpapi.ErrorRetry(w, http.StatusTooManyRequests, code, ms, "%v", err)
 		return nil, false
 	}
 	return release, true
@@ -400,8 +475,27 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	http.Error(w, fmt.Sprintf(format, args...), code)
+// httpError writes the unified error envelope (DESIGN.md §17,
+// internal/httpapi) with the status's default code. Paths with a more
+// specific code — admission shed, ingest backpressure, query validation —
+// call httpapi directly.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	code := httpapi.CodeInternal
+	switch status {
+	case http.StatusMethodNotAllowed:
+		code = httpapi.CodeMethodNotAllowed
+	case http.StatusBadRequest:
+		code = httpapi.CodeBadRequest
+	case http.StatusRequestEntityTooLarge:
+		code = httpapi.CodeBodyTooLarge
+	case http.StatusForbidden:
+		code = httpapi.CodeReadOnlyReplica
+	case http.StatusServiceUnavailable:
+		code = httpapi.CodeShuttingDown
+	case http.StatusConflict:
+		code = httpapi.CodeWALOwned
+	}
+	httpapi.Error(w, status, code, format, args...)
 }
 
 // rejectReplicaWrite guards every write endpoint: on a read-only replica
@@ -473,8 +567,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	putBatch(b)
 	switch {
 	case errors.Is(err, ingest.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "ingest queue full, retry")
+		httpapi.ErrorRetry(w, http.StatusTooManyRequests, httpapi.CodeIngestBackpressure,
+			1000, "ingest queue full, retry")
 	case errors.Is(err, ingest.ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 	case err != nil:
@@ -653,7 +747,11 @@ func (s *Server) answerOne(w http.ResponseWriter, r *http.Request, q query.Query
 	defer release()
 	res := query.Do(st.read, q)
 	if res.Err != nil {
-		httpError(w, http.StatusBadRequest, "%v", res.Err)
+		code := query.ErrCode(res.Err)
+		if code == "" {
+			code = httpapi.CodeBadRequest
+		}
+		httpapi.Error(w, http.StatusBadRequest, code, "%v", res.Err)
 		return
 	}
 	writeJSON(w, map[string]int64{"weight": res.Weight})
@@ -762,10 +860,15 @@ const maxSnapshotBody = 1 << 30
 const maxBatchProbes = 1 << 20
 
 // batchResult is the JSON representation of one /v2/query answer: exactly
-// one of Weight and Error is present.
+// one of Weight (scalar kinds), Top (analytics kinds), and Error is
+// present. Error slots carry the same stable code vocabulary as the
+// endpoint-level envelope, so a client's error handling is uniform whether
+// a problem sinks the request or just one item.
 type batchResult struct {
-	Weight *int64 `json:"weight,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Weight *int64        `json:"weight,omitempty"`
+	Top    []query.Entry `json:"top,omitempty"`
+	Error  string        `json:"error,omitempty"`
+	Code   string        `json:"code,omitempty"`
 }
 
 // handleQueryBatch implements POST /v2/query: a JSON array of queries in
@@ -783,12 +886,12 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	raws, err := decodeBatchEnvelope(w, r)
 	if err != nil {
-		code := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			code = http.StatusRequestEntityTooLarge
+			httpError(w, http.StatusRequestEntityTooLarge, "%v", err)
+			return
 		}
-		httpError(w, code, "%v", err)
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadEnvelope, "%v", err)
 		return
 	}
 	out := make([]batchResult, len(raws))
@@ -808,10 +911,18 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		var q query.Query
 		if err := dec.Decode(&q); err != nil {
 			out[i].Error = err.Error()
+			out[i].Code = httpapi.CodeBadRequest
 			continue
 		}
+		// A delta_vertex item may omit its candidate set: the engine's
+		// tracked heavy hitters are the natural "what changed most"
+		// candidates. Filled before budgeting so admission sees the real
+		// probe count.
+		if q.Kind == query.KindDeltaVertex && len(q.Candidates) == 0 && st.eng != nil {
+			q.Candidates = st.eng.CandidateVertices(q.Dir, defaultDeltaCandidates)
+		}
 		if probes += q.ProbeCount(shards); probes > maxBatchProbes {
-			httpError(w, http.StatusBadRequest,
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeProbeBudget,
 				"batch expands to more than %d per-shard probes; split it", maxBatchProbes)
 			return
 		}
@@ -823,13 +934,25 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	for j, res := range query.DoBatch(st.read, batch) {
+	var eng query.Analytics
+	if st.eng != nil {
+		eng = st.eng
+	}
+	for j, res := range query.DoBatchWith(st.read, eng, batch) {
 		if res.Err != nil {
 			out[idx[j]].Error = res.Err.Error()
+			out[idx[j]].Code = query.ErrCode(res.Err)
 			continue
 		}
-		weight := res.Weight
-		out[idx[j]].Weight = &weight
+		switch batch[j].Kind {
+		case query.KindDeltaVertex, query.KindDeltaEdge, query.KindHeavyHitters, query.KindBurst:
+			// Ranked kinds answer via "top"; an empty ranking omits the
+			// field (omitempty), never emits "weight".
+			out[idx[j]].Top = res.Top
+		default:
+			weight := res.Weight
+			out[idx[j]].Weight = &weight
+		}
 	}
 	writeJSON(w, out)
 }
@@ -912,6 +1035,15 @@ type AdmissionStatus struct {
 	admit.Stats
 }
 
+// AnalyticsStatus is the stream-analytics state /healthz reports
+// (DESIGN.md §17): whether the engine runs, its tracked-candidate and
+// burst counters when it does.
+type AnalyticsStatus struct {
+	// Enabled reports whether the analytics engine observes the summary.
+	Enabled bool `json:"enabled"`
+	analytics.Stats
+}
+
 // handleHealthz is the load-balancer probe: 200 with the serving
 // configuration, computed without touching a shard lock or a query path,
 // so probes stay cheap and never queue behind traffic.
@@ -941,6 +1073,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if ctrl := s.admission.Load(); ctrl != nil {
 		admission = AdmissionStatus{Enabled: true, Stats: ctrl.Stats()}
 	}
+	var analyticsStatus AnalyticsStatus
+	if st.eng != nil {
+		analyticsStatus = AnalyticsStatus{Enabled: true, Stats: st.eng.Stats()}
+	}
 	writeJSON(w, map[string]any{
 		"status":         "ok",
 		"shards":         st.sum.NumShards(),
@@ -951,6 +1087,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"memory":         readMemory(),
 		"read_cache":     readCache,
 		"admission":      admission,
+		"analytics":      analyticsStatus,
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"version":        BuildVersion(),
 	})

@@ -90,6 +90,26 @@ type slot struct {
 	ver atomic.Uint64
 }
 
+// ApplyObserver is notified of every answer-changing mutation, from inside
+// the same write-lock section that bumps the shard's mutation version —
+// the sketch-maintenance invariant of DESIGN.md §17: by the time any
+// reader can observe ShardVersion(i) advanced past a mutation, the
+// observer has already seen it. Because every write path in this
+// repository — sync inserts, async group commits, WAL replay, follower
+// replication, deletes, retention expiry — funnels through the shard
+// entry points, one observer covers them all without a new write path.
+// Callbacks run under the shard's write lock: they must be fast and must
+// not call back into the Summary.
+type ApplyObserver interface {
+	// ObserveApply sees every batch of edges applied to shard i.
+	ObserveApply(shard int, edges []stream.Edge)
+	// ObserveDelete sees every delete that found its entry in shard i.
+	ObserveDelete(shard int, e stream.Edge)
+	// ObserveExpire sees every expire of shard i that reclaimed leaves;
+	// cutoff is the expire's exclusive time cutoff.
+	ObserveExpire(shard int, cutoff int64)
+}
+
 // Summary is a sharded HIGGS graph stream summary. It is safe for
 // concurrent use by multiple goroutines: mutations serialize per shard,
 // queries run concurrently with each other and with mutations on other
@@ -99,10 +119,34 @@ type Summary struct {
 	part  hashing.Hasher // partitioning hash, decorrelated from core's
 	slots []*slot
 
+	// obs is the registered ApplyObserver (nil when none). An atomic
+	// pointer so registration needs no lock; each mutate path loads it once
+	// inside its write-lock section.
+	obs atomic.Pointer[ApplyObserver]
+
 	// walOwned, once set (MarkWALOwned), marks the summary's durable state
 	// as owned by a write-ahead log: direct Expire calls panic, because an
 	// unlogged expire would be resurrected by crash recovery.
 	walOwned atomic.Bool
+}
+
+// SetApplyObserver registers obs to see every subsequent answer-changing
+// mutation (nil unregisters). Register before feeding the summary —
+// mutations applied earlier are not replayed into the observer.
+func (s *Summary) SetApplyObserver(obs ApplyObserver) {
+	if obs == nil {
+		s.obs.Store(nil)
+		return
+	}
+	s.obs.Store(&obs)
+}
+
+// observer returns the registered ApplyObserver or nil.
+func (s *Summary) observer() ApplyObserver {
+	if p := s.obs.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // New returns an empty sharded summary for the given configuration.
@@ -163,9 +207,14 @@ func (s *Summary) ShardFor(v uint64) int {
 // subsequence of the stream, any globally time-ordered stream satisfies
 // this (out-of-order items are clamped per shard, see core.Summary).
 func (s *Summary) Insert(e stream.Edge) {
-	sl := s.slots[s.ShardFor(e.S)]
+	i := s.ShardFor(e.S)
+	sl := s.slots[i]
 	sl.mu.Lock()
 	sl.sum.Insert(e)
+	if obs := s.observer(); obs != nil {
+		one := [1]stream.Edge{e}
+		obs.ObserveApply(i, one[:])
+	}
 	sl.ver.Add(1)
 	sl.mu.Unlock()
 }
@@ -214,6 +263,9 @@ func (s *Summary) InsertShardAt(i int, edges []stream.Edge, seq uint64) {
 	if seq > sl.seq {
 		sl.seq = seq
 	}
+	if obs := s.observer(); obs != nil && len(edges) > 0 {
+		obs.ObserveApply(i, edges)
+	}
 	sl.ver.Add(1)
 	sl.mu.Unlock()
 }
@@ -247,10 +299,14 @@ func (s *Summary) ShardVersion(i int) uint64 {
 // Delete removes one previously inserted item from the shard of its source
 // vertex, reporting whether a matching entry was found.
 func (s *Summary) Delete(e stream.Edge) bool {
-	sl := s.slots[s.ShardFor(e.S)]
+	i := s.ShardFor(e.S)
+	sl := s.slots[i]
 	sl.mu.Lock()
 	ok := sl.sum.Delete(e)
 	if ok {
+		if obs := s.observer(); obs != nil {
+			obs.ObserveDelete(i, e)
+		}
 		sl.ver.Add(1)
 	}
 	sl.mu.Unlock()
@@ -378,18 +434,33 @@ func (s *Summary) MarkWALOwned() { s.walOwned.Store(true) }
 func (s *Summary) ExpireAt(cutoff int64, seq uint64) int64 {
 	s.checkUnloggedExpire(seq)
 	var dropped atomic.Int64
-	s.eachShard(func(sl *slot) {
-		sl.mu.Lock()
-		n := sl.sum.Expire(cutoff)
-		if seq > sl.seq {
-			sl.seq = seq
+	var wg sync.WaitGroup
+	wg.Add(len(s.slots))
+	for i := range s.slots {
+		run := func(i int) {
+			defer wg.Done()
+			sl := s.slots[i]
+			sl.mu.Lock()
+			n := sl.sum.Expire(cutoff)
+			if seq > sl.seq {
+				sl.seq = seq
+			}
+			if n > 0 {
+				if obs := s.observer(); obs != nil {
+					obs.ObserveExpire(i, cutoff)
+				}
+				sl.ver.Add(1)
+			}
+			sl.mu.Unlock()
+			dropped.Add(int64(n))
 		}
-		if n > 0 {
-			sl.ver.Add(1)
+		if len(s.slots) == 1 {
+			run(i)
+		} else {
+			go run(i)
 		}
-		sl.mu.Unlock()
-		dropped.Add(int64(n))
-	})
+	}
+	wg.Wait()
 	return dropped.Load()
 }
 
@@ -407,6 +478,9 @@ func (s *Summary) ExpireShardAt(i int, cutoff int64, seq uint64) int64 {
 		sl.seq = seq
 	}
 	if n > 0 {
+		if obs := s.observer(); obs != nil {
+			obs.ObserveExpire(i, cutoff)
+		}
 		sl.ver.Add(1)
 	}
 	sl.mu.Unlock()

@@ -74,7 +74,9 @@ func TestPartitionEquivalence(t *testing.T) {
 	span := st[len(st)-1].T
 	for v := uint64(0); v < 200; v++ {
 		i := s.ShardFor(v)
-		for _, win := range [][2]int64{{0, span}, {span / 4, span / 2}, {0, 0}} {
+		// {1, 1} keeps single-instant coverage; the zero-value window
+		// {0, 0} is rejected by query.Validate since DESIGN.md §17.
+		for _, win := range [][2]int64{{0, span}, {span / 4, span / 2}, {1, 1}} {
 			if got, want := s.EdgeWeight(v, v+1, win[0], win[1]), refs[i].EdgeWeight(v, v+1, win[0], win[1]); got != want {
 				t.Fatalf("EdgeWeight(%d,%d,%v) = %d, shard ref = %d", v, v+1, win, got, want)
 			}

@@ -29,12 +29,13 @@ func newSeededSharded(t *testing.T, shards int) *higgs.Sharded {
 // answers exactly like the per-kind methods.
 func TestQueryFacade(t *testing.T) {
 	s := newSeededSharded(t, 4)
+	w := higgs.Between(0, 500)
 	batch := []higgs.Query{
-		higgs.EdgeQuery(1, 2, 0, 500),
-		higgs.VertexOutQuery(1, 0, 500),
-		higgs.VertexInQuery(2, 0, 500),
-		higgs.PathQuery([]uint64{1, 2, 3}, 0, 500),
-		higgs.SubgraphQuery([][2]uint64{{1, 2}, {7, 1}}, 0, 500),
+		higgs.NewEdgeQuery(1, 2, w),
+		higgs.NewVertexQuery(1, w),
+		higgs.NewVertexQuery(2, w, higgs.WithDirection(higgs.DirIn)),
+		higgs.NewPathQuery([]uint64{1, 2, 3}, w),
+		higgs.NewSubgraphQuery([][2]uint64{{1, 2}, {7, 1}}, w),
 	}
 	want := []int64{
 		s.EdgeWeight(1, 2, 0, 500),
@@ -59,11 +60,11 @@ func TestQueryFacade(t *testing.T) {
 // TestQueryFacadeValidation: per-query errors surface through Result.
 func TestQueryFacadeValidation(t *testing.T) {
 	s := newSeededSharded(t, 2)
-	if r := s.Do(higgs.EdgeQuery(1, 2, 500, 0)); r.Err == nil ||
+	if r := s.Do(higgs.NewEdgeQuery(1, 2, higgs.Between(500, 0))); r.Err == nil ||
 		!strings.Contains(r.Err.Error(), "inverted time range") {
 		t.Fatalf("inverted range not rejected: %+v", r)
 	}
-	if r := s.Do(higgs.PathQuery([]uint64{1}, 0, 500)); r.Err == nil {
+	if r := s.Do(higgs.NewPathQuery([]uint64{1}, higgs.Between(0, 500))); r.Err == nil {
 		t.Fatalf("short path not rejected: %+v", r)
 	}
 	if k, err := higgs.ParseQueryKind("vertex_in"); err != nil || k != higgs.QueryVertexIn {
@@ -145,7 +146,7 @@ func TestLoadShardedLegacyFallback(t *testing.T) {
 	if got := adopted.Items(); got != 2 {
 		t.Fatalf("adopted items = %d, want 2", got)
 	}
-	if r := adopted.Do(higgs.PathQuery([]uint64{4, 5, 6}, 0, 30)); r.Err != nil || r.Weight != 8 {
+	if r := adopted.Do(higgs.NewPathQuery([]uint64{4, 5, 6}, higgs.Between(0, 30))); r.Err != nil || r.Weight != 8 {
 		t.Fatalf("adopted path query = %+v, want weight 8", r)
 	}
 	// The adopted summary keeps ingesting where the original left off.

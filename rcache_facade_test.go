@@ -16,9 +16,9 @@ func TestReadCacheFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	batch := []higgs.Query{
-		higgs.EdgeQuery(1, 2, 0, 500),
-		higgs.VertexOutQuery(1, 0, 500),
-		higgs.PathQuery([]uint64{1, 2, 3}, 0, 500),
+		higgs.NewEdgeQuery(1, 2, higgs.Between(0, 500)),
+		higgs.NewVertexQuery(1, higgs.Between(0, 500)),
+		higgs.NewPathQuery([]uint64{1, 2, 3}, higgs.Between(0, 500)),
 	}
 	want := s.DoBatch(batch)
 	for pass := 0; pass < 2; pass++ {
@@ -36,7 +36,7 @@ func TestReadCacheFacade(t *testing.T) {
 	// A write moves the shard's version; the cache must serve the new
 	// answer, not the memoized one.
 	s.Insert(higgs.Edge{S: 1, D: 2, W: 10, T: 450})
-	if r := c.Do(higgs.EdgeQuery(1, 2, 0, 500)); r.Err != nil || r.Weight != s.EdgeWeight(1, 2, 0, 500) {
+	if r := c.Do(higgs.NewEdgeQuery(1, 2, higgs.Between(0, 500))); r.Err != nil || r.Weight != s.EdgeWeight(1, 2, 0, 500) {
 		t.Fatalf("post-insert cached answer %+v, summary says %d", r, s.EdgeWeight(1, 2, 0, 500))
 	}
 
