@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"higgs/internal/vetrules"
+)
+
+// vetConfig mirrors the subset of cmd/go/internal/work.vetConfig that
+// higgsvet consumes. cmd/go writes one such JSON file per package into the
+// work directory and invokes the vet tool with its path.
+type vetConfig struct {
+	ID          string            // package ID ("higgs/internal/shard [higgs/internal/shard.test]")
+	Compiler    string            // "gc" or "gccgo"
+	Dir         string            // package directory
+	ImportPath  string            // canonical import path
+	GoVersion   string            // language version for typechecking
+	GoFiles     []string          // absolute paths of Go sources
+	ImportMap   map[string]string // source import path -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+	Standard    map[string]bool   // canonical package path -> in std
+
+	VetxOnly   bool   // dependency run: compute facts only, report nothing
+	VetxOutput string // where to write facts for downstream packages
+
+	SucceedOnTypecheckFailure bool // cgo-affected packages: skip quietly
+}
+
+// runUnit analyzes the single package described by the vet.cfg file at
+// cfgPath and returns the process exit code: 0 clean, 1 on findings,
+// 2 on protocol or typechecking failure.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "higgsvet: reading %s: %v\n", cfgPath, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "higgsvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// higgsvet has no cross-package facts, but cmd/go expects the vetx
+	// output file to exist so it can cache the (empty) result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "higgsvet: writing vetx output: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// ParseComments is required: suppressions live in comments.
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "higgsvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "higgsvet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	findings, err := vetrules.RunPackage(fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "higgsvet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// typecheck type-checks the parsed package against the compiler export
+// data cmd/go listed in the config, the same way x/tools' unitchecker
+// does: imports resolve through ImportMap to PackageFile entries.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(importPath string) (io.ReadCloser, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			// Self-contained packages may import paths cmd/go saw no need
+			// to map; try the literal path.
+			path = importPath
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: strings.TrimPrefix(cfg.GoVersion, "v"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -329,6 +329,8 @@ type batchGroups struct {
 }
 
 // getGroups returns a reset batchGroups sized for the summary's shards.
+//
+//higgsvet:pool-ownership the caller owns the returned groups and releases them via putGroups once the batch is applied
 func (p *Pipeline) getGroups() *batchGroups {
 	g, _ := p.gpool.Get().(*batchGroups)
 	n := p.sum.NumShards()
@@ -577,6 +579,7 @@ func (p *Pipeline) drain(i int) {
 	if h := p.applyHook; h != nil {
 		h(i, len(edges))
 	}
+	//higgsvet:ignore wallorder drain applies batches already admitted and sequenced by wal.Append; the queue preserves per-shard order after the deliver callback enqueued them
 	p.sum.InsertShardAt(i, edges, seq)
 	q.mu.Lock()
 	q.applied += uint64(len(edges))

@@ -1,0 +1,40 @@
+package rcache
+
+import (
+	"testing"
+
+	"higgs/internal/query"
+)
+
+// TestProbeShardFullHitZeroAlloc pins the allocation contract of the read
+// cache's hit path: once a probe batch is resident, replaying it touches
+// only the cache shard's map and LRU — no backend call and no allocation.
+// Any regression (a map-key rebuild that escapes, probe boxing, slice
+// growth on the hit path) shows up here as a nonzero allocs/op long
+// before it would move a benchmark.
+func TestProbeShardFullHitZeroAlloc(t *testing.T) {
+	sum := newSharded(t, 2)
+	b := &countingBackend{Summary: sum}
+	c := newCache(t, b, 1<<20)
+
+	probes := make([]query.Probe, 32)
+	for i := range probes {
+		probes[i] = query.Probe{Op: query.OpEdge, S: 1, D: uint64(i + 2), Ts: 0, Te: 100}
+	}
+	out := make([]int64, len(probes))
+	c.ProbeShard(0, probes, out)
+
+	primed := b.calls.Load()
+	allocs := testing.AllocsPerRun(100, func() {
+		c.ProbeShard(0, probes, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("full-hit ProbeShard allocated %v allocs/op; the hit path must stay allocation-free", allocs)
+	}
+	if got := b.calls.Load(); got != primed {
+		t.Fatalf("full-hit replay reached the backend %d times; the replay was not actually all hits", got-primed)
+	}
+	if s := c.Stats(); s.Hits == 0 {
+		t.Fatalf("no cache hits recorded (stats %+v); the zero-alloc measurement was vacuous", s)
+	}
+}

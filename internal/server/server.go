@@ -661,6 +661,8 @@ func putBatch(b *batchBuf) {
 // pooled decode scratch, capped at maxBatchBody via http.MaxBytesReader
 // (the caller maps *http.MaxBytesError to 413). The caller must putBatch
 // the returned buffer once the batch has been handed to the insert path.
+//
+//higgsvet:pool-ownership the returned buffer transfers to the caller, which releases it via putBatch; error paths Put before returning
 func decodeBatch(w http.ResponseWriter, r *http.Request) (*batchBuf, error) {
 	b := batchPool.Get().(*batchBuf)
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))

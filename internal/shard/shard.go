@@ -502,6 +502,7 @@ func (s *Summary) checkUnloggedExpire(seq uint64) {
 func (s *Summary) Finalize() {
 	s.eachShard(func(sl *slot) {
 		sl.mu.Lock()
+		//higgsvet:ignore lockversion Finalize has no ApplyObserver hook by design: it changes no edge multiset, only seals estimator state, and the ver bump below already invalidates cached reads
 		sl.sum.Finalize()
 		sl.ver.Add(1)
 		sl.mu.Unlock()
@@ -517,6 +518,7 @@ func (s *Summary) Finalize() {
 func (s *Summary) Close() {
 	s.eachShard(func(sl *slot) {
 		sl.mu.Lock()
+		//higgsvet:ignore lockversion Close has no ApplyObserver hook by design: it releases resources without changing the edge multiset, and the ver bump below already invalidates cached reads
 		sl.sum.Close()
 		sl.ver.Add(1)
 		sl.mu.Unlock()

@@ -1,0 +1,53 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that package vetrules builds
+// on. The repository vendors no third-party modules, so the real
+// go/analysis framework is unavailable; this package reproduces the small
+// slice higgsvet needs — an Analyzer with a Run function over a typed
+// package, reporting position-anchored Diagnostics — with field names kept
+// identical so a future migration to x/tools is mechanical.
+//
+// Deliberately absent: facts (all higgsvet analyzers are package-local),
+// requires-graphs, result passing, and flags. Add them only if an analyzer
+// genuinely needs cross-package state.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //higgsvet:ignore suppressions. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph contract: what the analyzer enforces and
+	// why. The first line is the summary shown by `higgsvet help`.
+	Doc string
+	// Run executes the check over one package and reports findings via
+	// pass.Report. The returned value is ignored (kept for x/tools shape).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,76 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"higgs/internal/vetrules/analysis"
+)
+
+// Envelope enforces the HTTP error contract of internal/httpapi: every
+// non-2xx response the server or replication endpoints produce must go
+// through httpapi.Error / httpapi.ErrorRetry so clients always receive
+// the machine-readable JSON envelope (code, error, retryable). A raw
+// http.Error writes text/plain and a bare WriteHeader(4xx/5xx) writes an
+// empty body — both break the client SDK's error decoding and the
+// retry-hint protocol the replication catch-up path depends on.
+//
+// Scope: packages server and repl (the two places that hand-roll HTTP
+// handlers). Package httpapi itself is the one legitimate WriteHeader
+// caller and is outside the scope. WriteHeader with a non-constant status
+// is not flagged: the envelope helpers themselves funnel through such a
+// call, and dynamic codes are the helpers' job to police at runtime.
+var Envelope = &analysis.Analyzer{
+	Name: "envelope",
+	Doc: "error responses in packages server and repl must use the httpapi JSON envelope, not http.Error or bare WriteHeader(4xx/5xx)\n\n" +
+		"Flags calls to net/http.Error and WriteHeader calls on an http.ResponseWriter whose status argument is a constant >= 400.",
+	Run: runEnvelope,
+}
+
+func runEnvelope(pass *analysis.Pass) (any, error) {
+	switch pass.Pkg.Name() {
+	case "server", "repl":
+	default:
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	for _, f := range prodFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			switch {
+			case name == "Error" && calleePkgPath(info, call) == "net/http":
+				pass.Reportf(call.Pos(),
+					"http.Error bypasses the httpapi JSON error envelope (clients decode {code,error,retryable}); use httpapi.Error or httpapi.ErrorRetry")
+			case name == "WriteHeader" && pkgPathIs(recvType(info, call), "net/http", "ResponseWriter"):
+				if code, ok := constStatus(pass, call); ok && code >= 400 {
+					pass.Reportf(call.Pos(),
+						"bare WriteHeader(%d) sends an empty-body error outside the httpapi JSON envelope; use httpapi.Error or httpapi.ErrorRetry", code)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// constStatus evaluates the first argument of a WriteHeader call as a
+// compile-time integer constant (a literal or an http.Status* constant),
+// returning ok=false for dynamic codes.
+func constStatus(pass *analysis.Pass, call *ast.CallExpr) (int64, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,16 @@
+package vetrules_test
+
+import (
+	"testing"
+
+	"higgs/internal/vetrules"
+	"higgs/internal/vetrules/vettest"
+)
+
+func TestEnvelopeServer(t *testing.T) {
+	vettest.Run(t, vetrules.Envelope, "envelope/server")
+}
+
+func TestEnvelopeRepl(t *testing.T) {
+	vettest.Run(t, vetrules.Envelope, "envelope/repl")
+}

@@ -1,0 +1,16 @@
+package vetrules_test
+
+import (
+	"testing"
+
+	"higgs/internal/vetrules"
+	"higgs/internal/vetrules/vettest"
+)
+
+func TestLockScopeShard(t *testing.T) {
+	vettest.Run(t, vetrules.LockScope, "lockscope/shard")
+}
+
+func TestLockScopeWAL(t *testing.T) {
+	vettest.Run(t, vetrules.LockScope, "lockscope/wal")
+}

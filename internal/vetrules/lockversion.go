@@ -1,0 +1,114 @@
+package vetrules
+
+import (
+	"go/ast"
+	"strings"
+
+	"higgs/internal/vetrules/analysis"
+)
+
+// slotMutators are the core-summary methods that may change query
+// answers when invoked on a slot's `sum` field. Calling one inside a
+// write-lock section obliges the section to bump the slot's mutation
+// version and notify the ApplyObserver before unlocking (DESIGN.md
+// §16–§17). Read-side calls (WriteTo, Stats, Items, probes) are
+// answer-neutral by contract and carry no obligation.
+var slotMutators = map[string]bool{
+	"Insert":   true,
+	"Delete":   true,
+	"Expire":   true,
+	"Finalize": true,
+	"Close":    true,
+}
+
+// LockVersion enforces the version-fence maintenance invariant of
+// DESIGN.md §16–§17 inside package shard: any write-lock section on a
+// slot (a struct with mu/sum/ver fields) that mutates the underlying
+// summary must, before the lock is released, (a) advance the slot's
+// mutation version via ver.Add and (b) notify the registered
+// ApplyObserver via an Observe* call. The read cache's correctness proof
+// and the analytics sketch-maintenance invariant both collapse if a
+// mutation escapes either obligation.
+//
+// The check is intra-procedural and existence-based: it requires a
+// ver.Add and an Observe* call positioned after the (first) mutating call
+// and inside the section, which catches the real failure mode — a new
+// write path that forgets the bookkeeping entirely — while accepting the
+// conditional shapes the code uses (`if ok { obs(...); ver.Add(1) }`).
+// Documented exceptions (Finalize/Close have no observer hook by design)
+// carry //higgsvet:ignore suppressions at the mutating call.
+var LockVersion = &analysis.Analyzer{
+	Name: "lockversion",
+	Doc: "write-lock sections in package shard that mutate slot state must bump ver and notify the ApplyObserver before unlocking\n\n" +
+		"Reports a slot write-lock section that calls an answer-changing core mutator (Insert, Delete, Expire, Finalize, Close) " +
+		"without a subsequent <slot>.ver.Add(...) or without a subsequent Observe* notification inside the same section.",
+	Run: runLockVersion,
+}
+
+func runLockVersion(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() != "shard" {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	for _, f := range prodFiles(pass) {
+		for _, fb := range funcBodies(f) {
+			for _, sec := range lockSections(info, fb.body) {
+				if !sec.write || sec.baseExpr == nil {
+					continue
+				}
+				if !structHasFields(info.TypeOf(sec.baseExpr), "mu", "sum", "ver") {
+					continue
+				}
+				base := chainString(sec.baseExpr)
+				sumChain := base + ".sum"
+				verChain := base + ".ver"
+				var firstMut *ast.CallExpr
+				var mutName string
+				verAfter := false
+				observeAfter := false
+				ownScope(fb.body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || !sec.contains(call.Pos()) {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					name := sel.Sel.Name
+					recv := chainString(sel.X)
+					switch {
+					case slotMutators[name] && recv == sumChain:
+						if firstMut == nil {
+							firstMut = call
+							mutName = name
+						}
+					case name == "Add" && recv == verChain:
+						if firstMut != nil && call.Pos() > firstMut.Pos() {
+							verAfter = true
+						}
+					case strings.HasPrefix(name, "Observe"):
+						if firstMut != nil && call.Pos() > firstMut.Pos() {
+							observeAfter = true
+						}
+					}
+					return true
+				})
+				if firstMut == nil {
+					continue
+				}
+				if !verAfter {
+					pass.Reportf(firstMut.Pos(),
+						"%s.%s mutates slot state under %s but the section never advances %s.Add before unlocking (read-cache invalidation would miss this write; DESIGN.md §16)",
+						sumChain, mutName, sec.chain, verChain)
+				}
+				if !observeAfter {
+					pass.Reportf(firstMut.Pos(),
+						"%s.%s mutates slot state under %s but the section never notifies an Observe* ApplyObserver before unlocking (analytics sketches would miss this write; DESIGN.md §17)",
+						sumChain, mutName, sec.chain)
+				}
+			}
+		}
+	}
+	return nil, nil
+}

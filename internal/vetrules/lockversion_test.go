@@ -1,0 +1,12 @@
+package vetrules_test
+
+import (
+	"testing"
+
+	"higgs/internal/vetrules"
+	"higgs/internal/vetrules/vettest"
+)
+
+func TestLockVersion(t *testing.T) {
+	vettest.Run(t, vetrules.LockVersion, "lockversion/shard")
+}

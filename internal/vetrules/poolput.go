@@ -1,0 +1,282 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"higgs/internal/vetrules/analysis"
+)
+
+// PoolPut enforces pooled-buffer discipline everywhere sync.Pool appears
+// (batch buffers in server, edge-group slices in ingest, frame encoders
+// in wal): a function that takes an object out of a pool must either put
+// it back on every path, or be explicitly marked as transferring
+// ownership to its caller with
+//
+//	//higgsvet:pool-ownership <reason>
+//
+// placed in (or on) the function. A leaked Get is silent — the pool just
+// allocates a replacement — so the regression it causes is a slow return
+// to the allocation rates PR 7 eliminated, visible only in benchmarks.
+//
+// The check is intra-procedural and lexical. A release is a Put call on
+// the same pool chain, or a call to a local put*/release* helper passing
+// the pooled variable. A deferred release covers every path including
+// panics; otherwise each return statement after the Get needs a release
+// between the Get and the return, and returning the pooled object itself
+// requires the ownership marker.
+var PoolPut = &analysis.Analyzer{
+	Name: "poolput",
+	Doc: "every sync.Pool.Get must have a matching Put on all return paths, unless the function carries a //higgsvet:pool-ownership marker\n\n" +
+		"Applies to every package. Deferred Puts cover all paths; put*/release* helper calls on the pooled variable count as releases.",
+	Run: runPoolPut,
+}
+
+func runPoolPut(pass *analysis.Pass) (any, error) {
+	for _, f := range prodFiles(pass) {
+		markers := ownershipMarkers(pass.Fset, f)
+		for _, fb := range funcBodies(f) {
+			if markers.covers(fb) {
+				continue
+			}
+			checkPoolGets(pass, fb)
+		}
+	}
+	return nil, nil
+}
+
+type poolGet struct {
+	call      *ast.CallExpr
+	poolChain string // rendering of the pool expression, e.g. "p.gpool"
+	varName   string // variable bound to the Get result ("" when discarded)
+}
+
+type poolRelease struct {
+	pos       token.Pos
+	poolChain string // non-empty for direct Put calls
+	argChains []string
+	deferred  bool
+}
+
+type poolReturn struct {
+	pos    token.Pos
+	chains []string
+}
+
+func (r poolRelease) releases(g poolGet) bool {
+	if r.poolChain != "" {
+		return r.poolChain == g.poolChain
+	}
+	if g.varName == "" {
+		return false
+	}
+	for _, a := range r.argChains {
+		if a == g.varName {
+			return true
+		}
+	}
+	return false
+}
+
+func checkPoolGets(pass *analysis.Pass, fb funcBody) {
+	info := pass.TypesInfo
+	var gets []poolGet
+	var releases []poolRelease
+	var returns []poolReturn
+	deferred := make(map[*ast.CallExpr]bool)
+
+	ownScope(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.AssignStmt:
+			// x := pool.Get().(*T) binds the pooled object to x.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call := unwrapGetCall(info, n.Rhs[0]); call != nil {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						gets = append(gets, poolGet{call: call, poolChain: getPoolChain(call), varName: id.Name})
+						return true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			ri := poolReturn{pos: n.Pos()}
+			for _, res := range n.Results {
+				ri.chains = append(ri.chains, chainString(res))
+			}
+			returns = append(returns, ri)
+		case *ast.CallExpr:
+			name := calleeName(n)
+			switch {
+			case name == "Get" && pkgPathIs(recvType(info, n), "sync", "Pool"):
+				// Not the RHS of a recorded assignment: a bare or nested Get.
+				if !getRecorded(gets, n) {
+					gets = append(gets, poolGet{call: n, poolChain: getPoolChain(n)})
+				}
+			case name == "Put" && pkgPathIs(recvType(info, n), "sync", "Pool"):
+				sel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				releases = append(releases, poolRelease{
+					pos: n.Pos(), poolChain: chainString(sel.X), deferred: deferred[n],
+				})
+			case strings.HasPrefix(name, "put") || strings.HasPrefix(name, "release"):
+				r := poolRelease{pos: n.Pos(), deferred: deferred[n]}
+				for _, a := range n.Args {
+					r.argChains = append(r.argChains, chainString(a))
+				}
+				releases = append(releases, r)
+			}
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		checkOneGet(pass, fb, g, releases, returns)
+	}
+}
+
+func checkOneGet(pass *analysis.Pass, fb funcBody, g poolGet, releases []poolRelease, returns []poolReturn) {
+	// A deferred release covers every exit, panics included.
+	for _, r := range releases {
+		if r.deferred && r.releases(g) {
+			return
+		}
+	}
+	anyRelease := false
+	for _, r := range releases {
+		if r.releases(g) {
+			anyRelease = true
+			break
+		}
+	}
+	for _, ret := range returns {
+		if ret.pos < g.call.End() {
+			continue
+		}
+		// Returning the pooled object hands it to the caller — that is
+		// ownership transfer and must be declared as such.
+		escapes := false
+		for _, c := range ret.chains {
+			if g.varName != "" && c == g.varName {
+				escapes = true
+			}
+		}
+		if escapes {
+			pass.Reportf(g.call.Pos(),
+				"%s.Get result %q is returned to the caller without a //higgsvet:pool-ownership marker on %s (undeclared ownership transfer leaks the pooled object if the caller forgets to release it)",
+				g.poolChain, g.varName, fb.name)
+			return
+		}
+		released := false
+		for _, r := range releases {
+			if !r.deferred && r.releases(g) && r.pos > g.call.Pos() && r.pos < ret.pos {
+				released = true
+				break
+			}
+		}
+		if !released {
+			pass.Reportf(g.call.Pos(),
+				"%s.Get has no matching Put before the return at line %d (pooled object leaks on this path; add a Put, defer it, or mark %s //higgsvet:pool-ownership)",
+				g.poolChain, pass.Fset.Position(ret.pos).Line, fb.name)
+			return
+		}
+	}
+	// Fallthrough end of function with no release anywhere.
+	if len(returns) == 0 && !anyRelease {
+		pass.Reportf(g.call.Pos(),
+			"%s.Get is never Put back in %s (pooled object leaks; add a Put, defer it, or mark the function //higgsvet:pool-ownership)",
+			g.poolChain, fb.name)
+	}
+}
+
+// unwrapGetCall returns the sync.Pool Get call inside e, looking through
+// type assertions (`pool.Get().(*T)`), or nil.
+func unwrapGetCall(info *types.Info, e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if calleeName(call) != "Get" || !pkgPathIs(recvType(info, call), "sync", "Pool") {
+		return nil
+	}
+	return call
+}
+
+func getPoolChain(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return chainString(sel.X)
+}
+
+func getRecorded(gets []poolGet, call *ast.CallExpr) bool {
+	for _, g := range gets {
+		if g.call == call {
+			return true
+		}
+	}
+	return false
+}
+
+// ownershipSpans holds the source spans of functions marked with a valid
+// //higgsvet:pool-ownership <reason> comment in one file.
+type ownershipSpans []span
+
+const ownershipPrefix = "higgsvet:pool-ownership"
+
+func ownershipMarkers(fset *token.FileSet, f *ast.File) ownershipSpans {
+	var marks []token.Pos
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, ownershipPrefix) {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(text, ownershipPrefix))
+			if reason == "" {
+				continue // a marker without a reason does not count
+			}
+			marks = append(marks, c.Pos())
+		}
+	}
+	if len(marks) == 0 {
+		return nil
+	}
+	// Map each marked position to the function declarations it annotates:
+	// a marker anywhere from the doc comment through the closing brace.
+	var spans ownershipSpans
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		start := fd.Pos()
+		if fd.Doc != nil {
+			start = fd.Doc.Pos()
+		}
+		for _, m := range marks {
+			if m >= start && m <= fd.Body.End() {
+				spans = append(spans, span{start: fd.Pos(), end: fd.Body.End()})
+				break
+			}
+		}
+	}
+	return spans
+}
+
+// covers reports whether fb lies inside any marked function span (a
+// FuncLit inside a marked function inherits the marker).
+func (s ownershipSpans) covers(fb funcBody) bool {
+	for _, sp := range s {
+		if fb.body.Pos() >= sp.start && fb.body.End() <= sp.end {
+			return true
+		}
+	}
+	return false
+}

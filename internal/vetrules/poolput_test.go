@@ -1,0 +1,12 @@
+package vetrules_test
+
+import (
+	"testing"
+
+	"higgs/internal/vetrules"
+	"higgs/internal/vetrules/vettest"
+)
+
+func TestPoolPut(t *testing.T) {
+	vettest.Run(t, vetrules.PoolPut, "poolput/bufpool")
+}

@@ -1,0 +1,12 @@
+// The envelope analyzer also covers the replication endpoints.
+package repl
+
+import "net/http"
+
+func snapshotGap(w http.ResponseWriter) {
+	http.Error(w, "sequence gap", http.StatusConflict) // want "http.Error bypasses"
+}
+
+func throttled(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusServiceUnavailable) // want "bare WriteHeader"
+}

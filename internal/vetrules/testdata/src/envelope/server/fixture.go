@@ -1,0 +1,34 @@
+// Deliberately-red fixtures for the envelope analyzer: error responses
+// that bypass the httpapi JSON envelope.
+package server
+
+import "net/http"
+
+func rawError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want "http.Error bypasses"
+}
+
+func bareHeaderConst(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest) // want "bare WriteHeader"
+}
+
+func bareHeaderLiteral(w http.ResponseWriter) {
+	w.WriteHeader(503) // want "bare WriteHeader"
+}
+
+// success is clean: 2xx statuses are not error responses.
+func success(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+}
+
+// dynamic is clean: non-constant codes are the envelope helpers' own
+// funnel and are policed at runtime, not here.
+func dynamic(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// legacy is a suppressed, reviewed exception.
+func legacy(w http.ResponseWriter) {
+	//higgsvet:ignore envelope fixture-reviewed legacy plain-text endpoint
+	http.Error(w, "gone", http.StatusNotFound)
+}

@@ -1,0 +1,117 @@
+// Deliberately-red fixtures for the lockversion analyzer: slot write
+// sections that mutate the summary without maintaining the version fence
+// or notifying the observer.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Edge struct{ S, D uint64 }
+
+type Core struct{ n int }
+
+func (c *Core) Insert(e Edge)       { c.n++ }
+func (c *Core) Delete(e Edge)       { c.n-- }
+func (c *Core) Expire(cutoff int64) {}
+func (c *Core) Finalize()           {}
+func (c *Core) Close()              {}
+func (c *Core) Items() int          { return c.n }
+
+type Observer interface {
+	ObserveApply(e Edge)
+	ObserveDelete(e Edge)
+}
+
+type slot struct {
+	mu  sync.RWMutex
+	sum *Core
+	ver atomic.Uint64
+	obs Observer
+}
+
+// insertOK does the full bookkeeping: mutate, notify, bump, unlock.
+func (sl *slot) insertOK(e Edge) {
+	sl.mu.Lock()
+	sl.sum.Insert(e)
+	if sl.obs != nil {
+		sl.obs.ObserveApply(e)
+	}
+	sl.ver.Add(1)
+	sl.mu.Unlock()
+}
+
+// insertNoVer notifies but forgets the version bump.
+func (sl *slot) insertNoVer(e Edge) {
+	sl.mu.Lock()
+	sl.sum.Insert(e) // want "never advances"
+	sl.obs.ObserveApply(e)
+	sl.mu.Unlock()
+}
+
+// insertNoObserve bumps but never notifies.
+func (sl *slot) insertNoObserve(e Edge) {
+	sl.mu.Lock()
+	sl.sum.Insert(e) // want "never notifies"
+	sl.ver.Add(1)
+	sl.mu.Unlock()
+}
+
+// insertBare forgets both obligations: two findings on one line.
+func (sl *slot) insertBare(e Edge) {
+	sl.mu.Lock()
+	sl.sum.Insert(e) // want "never advances" "never notifies"
+	sl.mu.Unlock()
+}
+
+// deleteDeferred shows a deferred unlock is still one write section.
+func (sl *slot) deleteDeferred(e Edge) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.sum.Delete(e) // want "never advances"
+	sl.obs.ObserveDelete(e)
+}
+
+// verBeforeMutation does not count: the bump must fence the mutation.
+func (sl *slot) verBeforeMutation(e Edge) {
+	sl.mu.Lock()
+	sl.ver.Add(1)
+	sl.obs.ObserveApply(e)
+	sl.sum.Insert(e) // want "never advances" "never notifies"
+	sl.mu.Unlock()
+}
+
+// readOnly sections carry no obligation.
+func (sl *slot) readOnly() int {
+	sl.mu.RLock()
+	n := sl.sum.Items()
+	sl.mu.RUnlock()
+	return n
+}
+
+// finalize is a documented exception, suppressed with a reason.
+func (sl *slot) finalize() {
+	sl.mu.Lock()
+	//higgsvet:ignore lockversion finalize has no observer hook in this fixture, mirroring the real exception
+	sl.sum.Finalize()
+	sl.ver.Add(1)
+	sl.mu.Unlock()
+}
+
+// closeNoReason shows an ignore without a reason does not suppress.
+func (sl *slot) closeNoReason() {
+	sl.mu.Lock()
+	//higgsvet:ignore lockversion
+	sl.sum.Close() // want "never notifies"
+	sl.ver.Add(1)
+	sl.mu.Unlock()
+}
+
+// wrongAnalyzerIgnore shows a suppression names one analyzer only.
+func (sl *slot) wrongAnalyzerIgnore(e Edge) {
+	sl.mu.Lock()
+	//higgsvet:ignore lockscope suppressing a different analyzer does not help
+	sl.sum.Insert(e) // want "never advances" "never notifies"
+	sl.mu.Unlock()
+}

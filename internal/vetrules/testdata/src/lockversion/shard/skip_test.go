@@ -1,0 +1,10 @@
+// Test files intentionally reach around production invariants; the suite
+// must skip them. This violation carries no `want` — a finding here fails
+// the harness.
+package shard
+
+func (sl *slot) testOnlyMutate(e Edge) {
+	sl.mu.Lock()
+	sl.sum.Insert(e)
+	sl.mu.Unlock()
+}

@@ -1,0 +1,5 @@
+// Package log is a fixture stand-in for the standard library package.
+package log
+
+func Printf(format string, v ...any) {}
+func Println(v ...any)               {}

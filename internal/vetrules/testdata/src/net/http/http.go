@@ -1,0 +1,24 @@
+// Package http is a fixture stand-in for net/http; the envelope analyzer
+// matches http.Error and ResponseWriter.WriteHeader by this import path.
+package http
+
+type Header map[string][]string
+
+type ResponseWriter interface {
+	Header() Header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+type Request struct{}
+
+func Error(w ResponseWriter, error string, code int) {}
+
+const (
+	StatusOK                  = 200
+	StatusBadRequest          = 400
+	StatusNotFound            = 404
+	StatusConflict            = 409
+	StatusInternalServerError = 500
+	StatusServiceUnavailable  = 503
+)

@@ -1,0 +1,9 @@
+// Package os is a fixture stand-in for the standard library package; the
+// lockscope analyzer matches (*os.File).Sync by this import path.
+package os
+
+type File struct{ name string }
+
+func (f *File) Sync() error  { return nil }
+func (f *File) Close() error { return nil }
+func (f *File) Name() string { return f.name }

@@ -1,0 +1,88 @@
+// Deliberately-red fixtures for the poolput analyzer: pooled objects that
+// leak on a return path or escape without a declared ownership transfer.
+package bufpool
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// deferred is clean: a deferred Put covers every path, panics included.
+func deferred() int {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	return len(b.b)
+}
+
+// balanced is clean: every return is preceded by a Put.
+func balanced(n int) int {
+	b := pool.Get().(*buf)
+	if n > 0 {
+		pool.Put(b)
+		return n
+	}
+	pool.Put(b)
+	return 0
+}
+
+// leaky forgets the Put on the early return.
+func leaky(n int) int {
+	b := pool.Get().(*buf) // want "no matching Put before the return"
+	if n > 0 {
+		return n
+	}
+	pool.Put(b)
+	return 0
+}
+
+// escape hands the pooled object to the caller without declaring it.
+func escape() *buf {
+	b := pool.Get().(*buf) // want "pool-ownership marker"
+	return b
+}
+
+// transfer is the declared form of escape, and is clean.
+//
+//higgsvet:pool-ownership the caller owns the buffer and releases it via putBuf
+func transfer() *buf {
+	b := pool.Get().(*buf)
+	return b
+}
+
+// viaHelper is clean: a put*/release* helper call counts as the release.
+func viaHelper(n int) int {
+	b := pool.Get().(*buf)
+	if n > 0 {
+		putBuf(b)
+		return n
+	}
+	putBuf(b)
+	return 0
+}
+
+func putBuf(b *buf) {
+	b.b = b.b[:0]
+	pool.Put(b)
+}
+
+// fire never puts and never returns: the object leaks at fallthrough.
+func fire() {
+	b := pool.Get().(*buf) // want "never Put back"
+	b.b = b.b[:0]
+}
+
+// suppressed shows the line-level escape hatch still works for poolput.
+func suppressed() {
+	//higgsvet:ignore poolput fixture-reviewed leak, exercised by the suppression test
+	b := pool.Get().(*buf)
+	b.b = b.b[:0]
+}
+
+// markerNoReason: an ownership marker without a reason does not count.
+//
+//higgsvet:pool-ownership
+func markerNoReason() *buf {
+	b := pool.Get().(*buf) // want "pool-ownership marker"
+	return b
+}

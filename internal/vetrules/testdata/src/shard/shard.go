@@ -1,0 +1,14 @@
+// Package shard is a fixture stand-in for higgs/internal/shard, used by
+// the wallorder fixtures; the analyzer matches apply methods by the
+// receiver's package name.
+package shard
+
+type Edge struct{ S, D uint64 }
+
+type Summary struct{ n int }
+
+func (s *Summary) Insert(e Edge, seq uint64)                     { s.n++ }
+func (s *Summary) InsertShardAt(i int, e []Edge, seq uint64)     { s.n += len(e) }
+func (s *Summary) ExpireAt(cutoff int64, seq uint64)             {}
+func (s *Summary) ExpireShardAt(i int, cutoff int64, seq uint64) {}
+func (s *Summary) NumShards() int                                { return 1 }

@@ -1,0 +1,8 @@
+// Package atomic is a fixture stand-in for sync/atomic.
+package atomic
+
+type Uint64 struct{ v uint64 }
+
+func (u *Uint64) Add(delta uint64) uint64 { u.v += delta; return u.v }
+func (u *Uint64) Load() uint64            { return u.v }
+func (u *Uint64) Store(v uint64)          { u.v = v }

@@ -1,0 +1,39 @@
+// Package sync is a fixture stand-in for the standard library package of
+// the same import path. The analyzers match mutex and pool types by that
+// path, so these minimal shapes are all the fixtures need.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type Pool struct{ New func() any }
+
+func (p *Pool) Get() any {
+	if p.New != nil {
+		return p.New()
+	}
+	return nil
+}
+
+func (p *Pool) Put(x any) {}
+
+type WaitGroup struct{ n int }
+
+func (wg *WaitGroup) Add(delta int) { wg.n += delta }
+func (wg *WaitGroup) Done()         { wg.n-- }
+func (wg *WaitGroup) Wait()         {}
+
+type Cond struct{ L *Mutex }
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Signal()    {}
+func (c *Cond) Broadcast() {}

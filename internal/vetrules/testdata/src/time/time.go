@@ -1,0 +1,8 @@
+// Package time is a fixture stand-in for the standard library package.
+package time
+
+type Duration int64
+
+const Millisecond Duration = 1000 * 1000
+
+func Sleep(d Duration) {}

@@ -1,0 +1,20 @@
+// Package wal is a fixture stand-in for higgs/internal/wal, used by the
+// wallorder fixtures; the analyzer matches Append/AppendExpire by the
+// receiver's package name.
+package wal
+
+import "shard"
+
+type Log struct{ seq uint64 }
+
+func (l *Log) Append(edges []shard.Edge, deliver func(firstSeq uint64)) error {
+	l.seq += uint64(len(edges))
+	deliver(l.seq)
+	return nil
+}
+
+func (l *Log) AppendExpire(cutoff int64, deliver func(seq uint64)) error {
+	l.seq++
+	deliver(l.seq)
+	return nil
+}

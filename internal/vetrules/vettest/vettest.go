@@ -1,0 +1,200 @@
+// Package vettest is a small analysistest-style harness for the higgsvet
+// analyzers. A fixture is a directory under internal/vetrules/testdata/src
+// holding one Go package whose sources carry expectations as comments:
+//
+//	sl.sum.Insert(e) // want "never advances" "Observe"
+//
+// Each double-quoted string after `want` is a regexp that must match the
+// message of exactly one finding reported on that line; findings on lines
+// with no matching expectation, and expectations no finding matches, both
+// fail the test. Suppression comments (//higgsvet:ignore) are honored, so
+// fixtures also pin the suppression semantics.
+//
+// Fixture packages import stand-in packages that shadow the standard
+// library paths the analyzers match on ("sync", "net/http", "time", ...),
+// all resolved from the same testdata/src tree by a recursive source
+// importer — the real standard library never enters the fixture universe.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"higgs/internal/vetrules"
+	"higgs/internal/vetrules/analysis"
+)
+
+// Run analyzes the fixture package at testdata/src/<dir> with the given
+// analyzer and checks its findings against the `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := &srcImporter{fset: token.NewFileSet(), root: root, pkgs: make(map[string]*types.Package)}
+	files, pkg, info, err := im.load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := vetrules.RunAnalyzers(im.fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkExpectations(t, im.fset, files, findings)
+}
+
+// lineKey identifies one fixture source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []vetrules.Finding) {
+	t.Helper()
+	wants := make(map[lineKey][]*wantExpr)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, w := range parseWants(t, fset, c) {
+					k := lineKey{file: w.file, line: w.line}
+					wants[k] = append(wants[k], w)
+				}
+			}
+		}
+	}
+	for _, fd := range findings {
+		k := lineKey{file: fd.Pos.Filename, line: fd.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(fd.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding [%s]: %s", fd.Pos, fd.Analyzer, fd.Message)
+		}
+	}
+	var missing []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				missing = append(missing, fmt.Sprintf("%s:%d: no finding matched %q", filepath.Base(k.file), k.line, w.re))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+type wantExpr struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts the `// want "re" "re"...` expectations from one
+// comment. The expectations bind to the comment's own line.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*wantExpr {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var out []*wantExpr
+	for rest != "" {
+		if rest[0] != '"' {
+			t.Fatalf("%s: malformed want comment near %q (expectations are double-quoted regexps)", pos, rest)
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment near %q: %v", pos, rest, err)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment near %q: %v", pos, rest, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+		}
+		out = append(out, &wantExpr{file: pos.Filename, line: pos.Line, re: re})
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return out
+}
+
+// srcImporter loads fixture packages from a testdata/src tree by import
+// path, recursively and with caching, so fixtures can shadow standard
+// library paths with minimal stand-ins.
+type srcImporter struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*types.Package
+}
+
+func (im *srcImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	_, pkg, _, err := im.load(path)
+	return pkg, err
+}
+
+// load parses and typechecks the fixture package at root/<path>.
+func (im *srcImporter) load(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: im}
+	pkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	im.pkgs[path] = pkg
+	return files, pkg, info, nil
+}

@@ -399,6 +399,7 @@ func (l *Log) rotateLocked() {
 		l.err = err
 		return
 	}
+	//higgsvet:ignore lockscope rotation must seal the old segment durably before the next segment takes appends; it happens once per segmentSize bytes, amortized far below the group-commit fsync cadence
 	if err := l.f.Sync(); err != nil {
 		l.err = err
 		return
